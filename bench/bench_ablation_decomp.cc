@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Ablation bench for the decomposition machinery itself (design
+ * choices called out in DESIGN.md):
+ *
+ *  1. HOI iterations: reconstruction error of HOSVD init vs HOI
+ *     sweeps on order-3 tensors (how much Algorithm 1's iteration
+ *     buys over its initializer).
+ *  2. Exact truncated SVD vs randomized SVD on real trained weights:
+ *     error and the compression pipeline's accuracy when swapping the
+ *     factorization backend.
+ *  3. Reconstruction error vs pruned rank on real trained weights
+ *     (the spectrum the rank-1 insight relies on).
+ */
+
+#include "bench_common.h"
+#include "util/logging.h"
+#include "decomp/tucker.h"
+#include "linalg/linalg.h"
+#include "tensor/ops.h"
+#include "tensor/unfold.h"
+#include "util/timer.h"
+
+using namespace lrd;
+
+int
+main()
+{
+    // 1. HOI vs HOSVD on random low-rank-plus-noise tensors.
+    {
+        TablePrinter t("Ablation 1: HOSVD init vs HOI sweeps "
+                       "(order-3 tensor, rank (4,4,4))");
+        t.setHeader({"Tensor", "HOSVD error", "HOI 1 sweep",
+                     "HOI converged"});
+        Rng rng(11);
+        for (int trial = 0; trial < 3; ++trial) {
+            Tensor core = Tensor::randn({4, 4, 4}, rng);
+            Tensor t3 = core;
+            for (int64_t m = 0; m < 3; ++m)
+                t3 = modeProduct(t3, randomOrthonormal(24, 4, rng), m);
+            // Add noise so the ranks are only approximately low.
+            Tensor noise = Tensor::randn(t3.shape(), rng, 0.05F);
+            t3 = add(t3, noise);
+
+            const std::vector<int64_t> ranks = {4, 4, 4};
+            const TuckerResult h = hosvd(t3, ranks);
+            HoiOptions one;
+            one.maxIters = 1;
+            const TuckerResult o1 = hooi(t3, ranks, one);
+            const TuckerResult oc = hooi(t3, ranks);
+            t.addRow({strCat("trial ", trial),
+                      TablePrinter::num(
+                          relativeError(t3, h.reconstruct()), 5),
+                      TablePrinter::num(
+                          relativeError(t3, o1.reconstruct()), 5),
+                      TablePrinter::num(
+                          relativeError(t3, oc.reconstruct()), 5)});
+        }
+        bench::emit(t, "ablation_hoi_iterations.csv");
+    }
+
+    // Real trained weights for the SVD backend and rank ablations.
+    TransformerModel model =
+        TransformerModel::deserialize(bench::tinyLlamaBytes());
+    const Tensor wGate =
+        model.linear(4, WeightKind::Gate).weight().value;
+    const Tensor wQuery =
+        model.linear(4, WeightKind::Query).weight().value;
+
+    // 2. Exact vs randomized SVD backend.
+    {
+        TablePrinter t("Ablation 2: exact vs randomized truncated SVD "
+                       "on trained weights (layer 4)");
+        t.setHeader({"Weight", "Rank", "Exact err", "Randomized err",
+                     "Exact ms", "Randomized ms"});
+        Rng rng(13);
+        const std::vector<std::pair<const char *, const Tensor *>> pairs =
+            {{"Wg", &wGate}, {"Wq", &wQuery}};
+        for (const auto &pair : pairs) {
+            for (int64_t rank : {1, 4, 16}) {
+                Timer te;
+                const SvdResult exact = truncatedSvd(*pair.second, rank);
+                const double exactMs = te.elapsedMillis();
+                Timer tr;
+                const SvdResult approx =
+                    randomizedSvd(*pair.second, rank, rng);
+                const double randMs = tr.elapsedMillis();
+                t.addRow({pair.first, std::to_string(rank),
+                          TablePrinter::num(
+                              relativeError(*pair.second,
+                                            exact.reconstruct()), 4),
+                          TablePrinter::num(
+                              relativeError(*pair.second,
+                                            approx.reconstruct()), 4),
+                          TablePrinter::num(exactMs, 2),
+                          TablePrinter::num(randMs, 2)});
+            }
+        }
+        bench::emit(t, "ablation_svd_backend.csv");
+    }
+
+    // 3. Reconstruction error vs pruned rank on trained weights.
+    {
+        TablePrinter t("Ablation 3: weight reconstruction error vs "
+                       "pruned rank (trained Wg, layer 4)");
+        t.setHeader({"Pruned rank", "Relative error",
+                     "Compression ratio"});
+        for (int64_t rank : {1, 2, 4, 8, 16, 32, 64}) {
+            const Tucker2d d = tucker2dDecompose(wGate, rank);
+            t.addRow({std::to_string(rank),
+                      TablePrinter::num(
+                          relativeError(wGate, d.reconstruct()), 4),
+                      TablePrinter::num(
+                          compressionRatio(wGate.dim(0), wGate.dim(1),
+                                           rank), 1) + "x"});
+        }
+        bench::emit(t, "ablation_rank_error.csv");
+    }
+    return 0;
+}

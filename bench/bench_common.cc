@@ -1,0 +1,90 @@
+#include "bench_common.h"
+
+#include "util/logging.h"
+
+namespace lrd {
+namespace bench {
+
+double
+paperBaselineAccuracy(BenchmarkKind kind)
+{
+    // Llama2-7B published / leaderboard numbers the paper's Figure 3
+    // uses as its "no decomposition" reference.
+    switch (kind) {
+      case BenchmarkKind::ArcEasy: return 74.6;
+      case BenchmarkKind::ArcChallenge: return 46.3;
+      case BenchmarkKind::HellaSwag: return 77.7;
+      case BenchmarkKind::Mmlu: return 45.7;
+      case BenchmarkKind::TruthfulQa: return 38.8;
+      case BenchmarkKind::WinoGrande: return 69.1;
+      case BenchmarkKind::Gsm8k: return 14.6;
+    }
+    panic("paperBaselineAccuracy: unknown kind");
+}
+
+GenerationWorkload
+paperWorkload()
+{
+    // Throughput-oriented serving batch on one A100 (the paper uses
+    // the maximum batch per GPU; this fills ~40 GB of the 80 GB
+    // device and makes weight traffic ~45% of decode bytes, matching
+    // the paper's 0.5%-latency / 0.4%-memory per 1%-params slopes).
+    GenerationWorkload wl;
+    wl.batch = 32;
+    wl.promptLen = 1024;
+    wl.decodeTokens = 256;
+    return wl;
+}
+
+const std::vector<uint8_t> &
+tinyLlamaBytes()
+{
+    static const std::vector<uint8_t> bytes =
+        pretrainedTinyLlama().serialize();
+    return bytes;
+}
+
+const std::vector<uint8_t> &
+tinyBertBytes()
+{
+    static const std::vector<uint8_t> bytes =
+        pretrainedTinyBert().serialize();
+    return bytes;
+}
+
+std::vector<double>
+evaluateSuite(TransformerModel &model, int numTasks, uint64_t seed)
+{
+    Evaluator ev(model, defaultWorld(),
+                 EvalOptions{numTasks, seed, false});
+    std::vector<double> out;
+    for (BenchmarkKind kind : allBenchmarks())
+        out.push_back(ev.run(kind).accuracy);
+    return out;
+}
+
+double
+meanAccuracy(const std::vector<double> &accs)
+{
+    double sum = 0.0;
+    for (double a : accs)
+        sum += a;
+    return accs.empty() ? 0.0 : sum / static_cast<double>(accs.size());
+}
+
+std::string
+pct(double fraction, int precision)
+{
+    return TablePrinter::num(fraction * 100.0, precision) + "%";
+}
+
+void
+emit(const TablePrinter &table, const std::string &csvName)
+{
+    table.print();
+    table.writeCsv(csvName);
+    inform("wrote " + csvName);
+}
+
+} // namespace bench
+} // namespace lrd

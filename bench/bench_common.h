@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: canonical workloads,
+ * paper-reference constants, and result-table conventions.
+ *
+ * Every bench binary prints one or more markdown tables comparing the
+ * paper's reported values/trends with this repository's measurements,
+ * and writes a CSV next to the binary for plotting.
+ */
+
+#ifndef LRD_BENCH_BENCH_COMMON_H
+#define LRD_BENCH_BENCH_COMMON_H
+
+#include <string>
+
+#include "dse/decomp_config.h"
+#include "eval/evaluator.h"
+#include "hw/roofline.h"
+#include "train/model_zoo.h"
+#include "util/table.h"
+
+namespace lrd {
+namespace bench {
+
+/** Items per benchmark for accuracy harnesses (speed/noise balance). */
+constexpr int kEvalTasks = 120;
+constexpr uint64_t kEvalSeed = 777;
+
+/** Published Llama2-7B accuracies (%), used as the paper's Figure 3/9
+ *  "no decomposition" reference points. */
+double paperBaselineAccuracy(BenchmarkKind kind);
+
+/** The paper's A100 generation workload stand-in for Figures 10-12. */
+GenerationWorkload paperWorkload();
+
+/** Load the pretrained tiny Llama checkpoint bytes (train on first
+ *  use), so each configuration can be decomposed from a fresh copy. */
+const std::vector<uint8_t> &tinyLlamaBytes();
+const std::vector<uint8_t> &tinyBertBytes();
+
+/** Evaluate the full suite and return accuracies in benchmark order. */
+std::vector<double> evaluateSuite(TransformerModel &model,
+                                  int numTasks = kEvalTasks,
+                                  uint64_t seed = kEvalSeed);
+
+/** Mean of a suite result. */
+double meanAccuracy(const std::vector<double> &accs);
+
+/** "12.3%" formatting helper. */
+std::string pct(double fraction, int precision = 1);
+
+/** Write the CSV and print the table (single call used by benches). */
+void emit(const TablePrinter &table, const std::string &csvName);
+
+} // namespace bench
+} // namespace lrd
+
+#endif // LRD_BENCH_BENCH_COMMON_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Exercises Definition 1 (the design goal): find the decomposition
+ * configuration minimizing latency x energy subject to an accuracy
+ * drop below tau, over the characterization-pruned candidate space.
+ */
+
+#include "bench_common.h"
+#include "dse/optimizer.h"
+
+using namespace lrd;
+
+int
+main()
+{
+    OptimizerOptions opts;
+    opts.accuracyDropTolerance = 0.05; // tau = 5%p aggregate
+    opts.evalTasks = 80;
+
+    const OptimizerResult res = optimizeDecomposition(
+        bench::tinyLlamaBytes(), defaultWorld(), opts);
+
+    TablePrinter t("Definition 1 search: candidates over the pruned "
+                   "space (tau = 5%p aggregate accuracy drop)");
+    t.setHeader({"Candidate", "Reduction", "Aggregate acc", "EDP (J*s)",
+                 "Feasible"});
+    t.addRow({"dense baseline", "0.0%",
+              bench::pct(res.baselineAccuracy),
+              TablePrinter::num(res.baselineEdp, 4), "yes"});
+    for (const CandidateRecord &rec : res.explored) {
+        t.addRow({rec.config.describe(), bench::pct(rec.reduction),
+                  bench::pct(rec.accuracy),
+                  TablePrinter::num(rec.edp, 4),
+                  rec.feasible ? "yes" : "no"});
+    }
+    bench::emit(t, "def1_candidates.csv");
+
+    TablePrinter b("Definition 1 result");
+    b.setHeader({"Chosen gamma", "Reduction", "Accuracy (baseline)",
+                 "EDP improvement"});
+    b.addRow({res.best.config.describe(), bench::pct(res.best.reduction),
+              bench::pct(res.best.accuracy) + " ("
+                  + bench::pct(res.baselineAccuracy) + ")",
+              TablePrinter::num(res.baselineEdp / res.best.edp, 3)
+                  + "x"});
+    bench::emit(b, "def1_result.csv");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Extension bench: low-rank decomposition vs the other compression
+ * families the paper cites (weight-only quantization, magnitude
+ * pruning) on the accuracy-vs-model-size plane.
+ *
+ * Each technique is applied post-training without recovery, exactly
+ * like the paper's decomposition protocol, and evaluated on the full
+ * benchmark suite. Model size uses each technique's natural storage
+ * format (factors / packed codes + scales / ideal CSR).
+ */
+
+#include "bench_common.h"
+#include "util/logging.h"
+#include "dse/schedules.h"
+#include "quant/prune.h"
+#include "quant/quantize.h"
+
+using namespace lrd;
+
+int
+main()
+{
+    const ModelConfig cfg = tinyLlamaConfig();
+    const int64_t denseBytes = cfg.totalParams() * 2;
+
+    TablePrinter t("Extension: accuracy vs model size across "
+                   "compression families (no recovery training)");
+    t.setHeader({"Technique", "Config", "Model size", "Mean accuracy"});
+
+    {
+        TransformerModel dense =
+            TransformerModel::deserialize(bench::tinyLlamaBytes());
+        t.addRow({"dense", "-", "100.0%",
+                  bench::pct(bench::meanAccuracy(
+                      bench::evaluateSuite(dense)))});
+    }
+
+    // Low-rank ladder (the paper's technique).
+    for (int count : {1, 2, 4, 6}) {
+        TransformerModel model =
+            TransformerModel::deserialize(bench::tinyLlamaBytes());
+        const DecompConfig gamma = DecompConfig::allTensors(
+            cfg, spreadSchedule(static_cast<int>(cfg.nLayers), count), 1);
+        gamma.applyTo(model);
+        const double size = 1.0 - gamma.parameterReduction(cfg);
+        t.addRow({"low-rank (Tucker)",
+                  std::to_string(count) + " layers, pr=1",
+                  bench::pct(size),
+                  bench::pct(bench::meanAccuracy(
+                      bench::evaluateSuite(model)))});
+    }
+
+    // Weight-only quantization.
+    for (int bits : {8, 4, 3, 2}) {
+        TransformerModel model =
+            TransformerModel::deserialize(bench::tinyLlamaBytes());
+        applyFakeQuantization(model, bits);
+        const double size =
+            static_cast<double>(quantizedModelBytes(cfg, bits))
+            / static_cast<double>(denseBytes);
+        t.addRow({"quantization", strCat("int", bits),
+                  bench::pct(size),
+                  bench::pct(bench::meanAccuracy(
+                      bench::evaluateSuite(model)))});
+    }
+
+    // Magnitude pruning.
+    for (double sparsity : {0.25, 0.5, 0.75, 0.9}) {
+        TransformerModel model =
+            TransformerModel::deserialize(bench::tinyLlamaBytes());
+        applyMagnitudePruning(model, sparsity);
+        const double size =
+            static_cast<double>(prunedModelBytes(cfg, sparsity))
+            / static_cast<double>(denseBytes);
+        t.addRow({"magnitude pruning", bench::pct(sparsity) + " sparse",
+                  bench::pct(size),
+                  bench::pct(bench::meanAccuracy(
+                      bench::evaluateSuite(model)))});
+    }
+
+    bench::emit(t, "ext_baselines.csv");
+    return 0;
+}

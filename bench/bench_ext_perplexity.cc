@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Extension bench: held-out language-model loss (and perplexity)
+ * across the decomposition ladder — a denser-resolution counterpart
+ * to the Figure 9 accuracy curves, and the quantity the fine-tuning
+ * recovery extension optimizes.
+ */
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "dse/schedules.h"
+#include "train/trainer.h"
+
+using namespace lrd;
+
+int
+main()
+{
+    const ModelConfig cfg = tinyLlamaConfig();
+    TablePrinter t("Extension: held-out LM loss vs parameter "
+                   "reduction (tiny stand-in)");
+    t.setHeader({"Reduction", "Held-out loss", "Perplexity",
+                 "Loss increase"});
+
+    double baseLoss = 0.0;
+    for (int count = 0; count <= cfg.nLayers; ++count) {
+        TransformerModel model =
+            TransformerModel::deserialize(bench::tinyLlamaBytes());
+        const DecompConfig gamma =
+            count == 0
+                ? DecompConfig::identity()
+                : DecompConfig::allTensors(
+                      cfg,
+                      spreadSchedule(static_cast<int>(cfg.nLayers),
+                                     count),
+                      1);
+        gamma.applyTo(model);
+        TrainOptions opts;
+        opts.seqLen = 64;
+        Trainer probe(model, defaultWorld(), opts);
+        const double loss = probe.evalLoss(30);
+        if (count == 0)
+            baseLoss = loss;
+        t.addRow({bench::pct(gamma.parameterReduction(cfg)),
+                  TablePrinter::num(loss, 4),
+                  TablePrinter::num(std::exp(loss), 2),
+                  TablePrinter::num(loss - baseLoss, 4)});
+    }
+    bench::emit(t, "ext_perplexity.csv");
+    return 0;
+}

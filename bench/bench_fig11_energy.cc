@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces Figure 11: GPU energy consumption vs model-size
+ * reduction on the Llama2-7B shape. Per the paper's measurement the
+ * GPU runs pinned at maximum power, so energy = P_max x latency and
+ * the energy saving tracks the latency saving (~0.5% per 1% params).
+ */
+
+#include "bench_common.h"
+#include "dse/schedules.h"
+
+using namespace lrd;
+
+int
+main()
+{
+    const ModelConfig cfg = llama2_7bConfig();
+    const DeviceSpec dev = a100_80gb();
+    const GenerationWorkload wl = bench::paperWorkload();
+
+    const InferenceEstimate base =
+        estimateGeneration(cfg, DecompConfig::identity(), dev, wl);
+
+    TablePrinter t("Figure 11: analytical A100 energy, Llama2-7B "
+                   "(paper: ~0.5% energy per 1% params; power pinned "
+                   "at 300 W)");
+    t.setHeader({"Reduction", "Energy (J)", "Energy saving",
+                 "Saving per 1% params"});
+    t.addRow({"0.0%", TablePrinter::num(base.energyJoules, 1), "-",
+              "-"});
+    for (const Table4Row &row : paperTable4()) {
+        const DecompConfig gamma =
+            DecompConfig::allTensors(cfg, table4Layers0Based(row), 1);
+        const InferenceEstimate est =
+            estimateGeneration(cfg, gamma, dev, wl);
+        const double reduction = gamma.parameterReduction(cfg);
+        const double saving = 1.0 - est.energyJoules / base.energyJoules;
+        t.addRow({bench::pct(reduction),
+                  TablePrinter::num(est.energyJoules, 1),
+                  bench::pct(saving),
+                  bench::pct(saving / (reduction * 100.0), 2)});
+    }
+    bench::emit(t, "fig11_energy.csv");
+    return 0;
+}

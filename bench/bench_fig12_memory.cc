@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reproduces Figure 12: GPU memory footprint vs model-size reduction
+ * on the Llama2-7B shape (weights + KV cache + activations + runtime
+ * overhead). Expected slope: ~0.4% footprint per 1% params, because
+ * the non-weight components do not shrink with decomposition.
+ */
+
+#include "bench_common.h"
+#include "dse/schedules.h"
+
+using namespace lrd;
+
+int
+main()
+{
+    const ModelConfig cfg = llama2_7bConfig();
+    const GenerationWorkload wl = bench::paperWorkload();
+
+    const double base =
+        memoryFootprintBytes(cfg, DecompConfig::identity(), wl);
+
+    TablePrinter t("Figure 12: analytical GPU memory footprint, "
+                   "Llama2-7B (paper: ~0.4% memory per 1% params)");
+    t.setHeader({"Reduction", "Footprint (GB)", "Memory saving",
+                 "Saving per 1% params"});
+    t.addRow({"0.0%", TablePrinter::num(base / 1e9, 2), "-", "-"});
+    for (const Table4Row &row : paperTable4()) {
+        const DecompConfig gamma =
+            DecompConfig::allTensors(cfg, table4Layers0Based(row), 1);
+        const double mem = memoryFootprintBytes(cfg, gamma, wl);
+        const double reduction = gamma.parameterReduction(cfg);
+        const double saving = 1.0 - mem / base;
+        t.addRow({bench::pct(reduction),
+                  TablePrinter::num(mem / 1e9, 2), bench::pct(saving),
+                  bench::pct(saving / (reduction * 100.0), 2)});
+    }
+    bench::emit(t, "fig12_memory.csv");
+    return 0;
+}

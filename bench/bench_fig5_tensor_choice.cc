@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Figure 5: the accuracy impact of which tensor is
+ * decomposed. Each of the per-layer weight tensors is rank-1
+ * decomposed (a) in a single middle layer and (b) in every layer, for
+ * both the Llama-style and BERT-style stand-ins.
+ *
+ * Expected shape (paper Observation 1): within the attention group
+ * and within the MLP group the tensors are roughly equally sensitive
+ * on Llama; on BERT the intermediate FC (W_Int) is the most
+ * sensitive.
+ */
+
+#include "bench_common.h"
+
+using namespace lrd;
+
+namespace {
+
+void
+runPanel(const char *title, const std::vector<uint8_t> &bytes,
+         const ModelConfig &cfg, const std::string &csv, int evalTasks)
+{
+    TablePrinter t(title);
+    t.setHeader({"Tensor", "Scope", "Reduction", "Mean accuracy",
+                 "Drop vs dense"});
+
+    TransformerModel dense = TransformerModel::deserialize(bytes);
+    const double baseline = bench::meanAccuracy(
+        bench::evaluateSuite(dense, evalTasks));
+    t.addRow({"(none)", "-", "0.0%", bench::pct(baseline), "0.0%"});
+
+    const int mid = static_cast<int>(cfg.nLayers / 2);
+    std::vector<int> allLayers;
+    for (int l = 0; l < cfg.nLayers; ++l)
+        allLayers.push_back(l);
+
+    for (WeightKind kind : decomposableKinds(cfg.arch)) {
+        for (bool everyLayer : {false, true}) {
+            TransformerModel model = TransformerModel::deserialize(bytes);
+            const DecompConfig gamma = DecompConfig::oneTensor(
+                kind, everyLayer ? allLayers : std::vector<int>{mid}, 1);
+            gamma.applyTo(model);
+            const double acc = bench::meanAccuracy(
+                bench::evaluateSuite(model, evalTasks));
+            t.addRow({weightKindName(kind),
+                      everyLayer ? "all layers" : "1 layer",
+                      bench::pct(gamma.parameterReduction(cfg)),
+                      bench::pct(acc), bench::pct(baseline - acc)});
+        }
+    }
+    bench::emit(t, csv);
+}
+
+} // namespace
+
+int
+main()
+{
+    runPanel("Figure 5 (Llama panel): per-tensor rank-1 decomposition "
+             "(paper: no strong per-tensor trend within a group)",
+             bench::tinyLlamaBytes(), tinyLlamaConfig(),
+             "fig5_tensor_choice_llama.csv", bench::kEvalTasks);
+    runPanel("Figure 5 (BERT panel): per-tensor rank-1 decomposition "
+             "(paper: W_Int is the most sensitive)",
+             bench::tinyBertBytes(), tinyBertConfig(),
+             "fig5_tensor_choice_bert.csv", 60);
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Figure 7: decompose exactly one layer (all tensors,
+ * rank 1) and plot aggregate accuracy against the layer's position.
+ *
+ * Expected shape: a U-shaped-inverse curve — the first couple of
+ * layers and the last layer hurt the most; interior layers are
+ * benign.
+ */
+
+#include "bench_common.h"
+
+using namespace lrd;
+
+int
+main()
+{
+    const ModelConfig cfg = tinyLlamaConfig();
+    TransformerModel dense =
+        TransformerModel::deserialize(bench::tinyLlamaBytes());
+    const double baseline =
+        bench::meanAccuracy(bench::evaluateSuite(dense));
+
+    TablePrinter t("Figure 7: aggregate accuracy when a single layer "
+                   "is decomposed (paper: first/last layers are the "
+                   "most sensitive)");
+    t.setHeader({"Decomposed layer", "Aggregate accuracy",
+                 "Drop vs dense"});
+    t.addRow({"(none)", bench::pct(baseline), "0.0%"});
+    for (int layer = 0; layer < cfg.nLayers; ++layer) {
+        TransformerModel model =
+            TransformerModel::deserialize(bench::tinyLlamaBytes());
+        const DecompConfig gamma =
+            DecompConfig::allTensors(cfg, {layer}, 1);
+        gamma.applyTo(model);
+        const double acc =
+            bench::meanAccuracy(bench::evaluateSuite(model));
+        t.addRow({std::to_string(layer), bench::pct(acc),
+                  bench::pct(baseline - acc)});
+    }
+    bench::emit(t, "fig7_layer_sensitivity.csv");
+    return 0;
+}

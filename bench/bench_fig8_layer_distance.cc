@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces Figure 8: the effect of the *distance* between
+ * decomposed layers. Pairs/triples of decomposed layers at increasing
+ * separation, plus the paper's consecutive-vs-every-kth comparison.
+ *
+ * Expected shape: greater distance between decomposed layers loses
+ * less accuracy than adjacent layers at the same reduction.
+ */
+
+#include <sstream>
+
+#include "bench_common.h"
+
+using namespace lrd;
+
+namespace {
+
+std::string
+joinLayers(const std::vector<int> &layers)
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < layers.size(); ++i)
+        oss << (i ? "," : "") << layers[i];
+    return oss.str();
+}
+
+double
+suiteMean(const std::vector<int> &layers)
+{
+    TransformerModel model =
+        TransformerModel::deserialize(bench::tinyLlamaBytes());
+    DecompConfig::allTensors(tinyLlamaConfig(), layers, 1).applyTo(model);
+    return bench::meanAccuracy(bench::evaluateSuite(model));
+}
+
+} // namespace
+
+int
+main()
+{
+    TransformerModel dense =
+        TransformerModel::deserialize(bench::tinyLlamaBytes());
+    const double baseline =
+        bench::meanAccuracy(bench::evaluateSuite(dense));
+
+    // Pair sweep: layer 2 plus a partner at increasing distance.
+    TablePrinter t("Figure 8a: two decomposed layers at increasing "
+                   "distance (paper: larger distance is better)");
+    t.setHeader({"Layers", "Distance", "Aggregate accuracy",
+                 "Drop vs dense"});
+    for (int partner : {3, 4, 5, 6, 7}) {
+        const std::vector<int> layers = {2, partner};
+        const double acc = suiteMean(layers);
+        t.addRow({joinLayers(layers), std::to_string(partner - 2),
+                  bench::pct(acc), bench::pct(baseline - acc)});
+    }
+    bench::emit(t, "fig8_pair_distance.csv");
+
+    // Consecutive vs spread triples at identical reduction.
+    TablePrinter s("Figure 8b: consecutive vs spread-apart triples "
+                   "(same 3-layer reduction)");
+    s.setHeader({"Layers", "Min gap", "Aggregate accuracy",
+                 "Drop vs dense"});
+    const std::vector<std::vector<int>> triples = {
+        {3, 4, 5}, // consecutive
+        {2, 4, 6}, // every 2nd
+        {2, 4, 7}, // mixed
+        {2, 5, 7}, // near-maximal spread
+    };
+    for (const auto &layers : triples) {
+        int minGap = 100;
+        for (size_t i = 1; i < layers.size(); ++i)
+            minGap = std::min(minGap, layers[i] - layers[i - 1]);
+        const double acc = suiteMean(layers);
+        s.addRow({joinLayers(layers), std::to_string(minGap),
+                  bench::pct(acc), bench::pct(baseline - acc)});
+    }
+    bench::emit(s, "fig8_triple_spread.csv");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Figure 9: per-benchmark accuracy across the full
+ * model-size-reduction ladder (all tensors, rank 1, spread layer
+ * schedules — the Table 4 protocol scaled to the 8-layer stand-in).
+ *
+ * Expected shape (paper Section 4.3): easy benchmarks (ARC Easy,
+ * WinoGrande) degrade gently; hard ones (ARC Challenge, HellaSwag,
+ * MMLU, GSM8K) degrade faster; TruthfulQA is non-monotonic, dipping
+ * then *recovering toward chance* at extreme compression.
+ */
+
+#include "bench_common.h"
+#include "dse/schedules.h"
+
+using namespace lrd;
+
+int
+main()
+{
+    const ModelConfig cfg = tinyLlamaConfig();
+
+    TablePrinter t("Figure 9: accuracy vs parameter reduction "
+                   "(tiny-llama stand-in; paper Llama2-7B baselines "
+                   "in header)");
+    std::vector<std::string> header = {"Reduction"};
+    for (BenchmarkKind kind : allBenchmarks())
+        header.push_back(
+            benchmarkName(kind) + " (paper base "
+            + TablePrinter::num(bench::paperBaselineAccuracy(kind), 1)
+            + ")");
+    header.emplace_back("Mean");
+    t.setHeader(header);
+
+    for (int count = 0; count <= cfg.nLayers; ++count) {
+        TransformerModel model =
+            TransformerModel::deserialize(bench::tinyLlamaBytes());
+        const DecompConfig gamma =
+            count == 0
+                ? DecompConfig::identity()
+                : DecompConfig::allTensors(
+                      cfg,
+                      spreadSchedule(static_cast<int>(cfg.nLayers),
+                                     count),
+                      1);
+        gamma.applyTo(model);
+        const auto accs = bench::evaluateSuite(model);
+        std::vector<std::string> row = {
+            bench::pct(gamma.parameterReduction(cfg))};
+        for (double a : accs)
+            row.push_back(bench::pct(a));
+        row.push_back(bench::pct(bench::meanAccuracy(accs)));
+        t.addRow(row);
+    }
+    bench::emit(t, "fig9_accuracy_tradeoff.csv");
+    return 0;
+}

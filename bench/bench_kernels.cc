@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the numeric kernels: GEMM
+ * variants, SVD, 2D Tucker factorization, dense vs rank-1 factorized
+ * linear layers, and a KV-cache decode step.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "decomp/tucker.h"
+#include "linalg/linalg.h"
+#include "model/transformer.h"
+#include "tensor/ops.h"
+#include "train/model_zoo.h"
+
+namespace lrd {
+namespace {
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    const auto n = static_cast<int64_t>(state.range(0));
+    Rng rng(1);
+    Tensor a = Tensor::randn({n, n}, rng);
+    Tensor b = Tensor::randn({n, n}, rng);
+    for (auto _ : state) {
+        Tensor c = matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_GemmTransB(benchmark::State &state)
+{
+    const auto n = static_cast<int64_t>(state.range(0));
+    Rng rng(2);
+    Tensor a = Tensor::randn({n, n}, rng);
+    Tensor b = Tensor::randn({n, n}, rng);
+    for (auto _ : state) {
+        Tensor c = matmulTransB(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmTransB)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_Svd(benchmark::State &state)
+{
+    const auto n = static_cast<int64_t>(state.range(0));
+    Rng rng(3);
+    Tensor a = Tensor::randn({n, n}, rng);
+    for (auto _ : state) {
+        SvdResult s = svd(a);
+        benchmark::DoNotOptimize(s.s.data());
+    }
+}
+BENCHMARK(BM_Svd)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_Tucker2dRank1(benchmark::State &state)
+{
+    const auto n = static_cast<int64_t>(state.range(0));
+    Rng rng(4);
+    Tensor w = Tensor::randn({n, n}, rng);
+    for (auto _ : state) {
+        Tucker2d d = tucker2dDecompose(w, 1);
+        benchmark::DoNotOptimize(d.core.data());
+    }
+}
+BENCHMARK(BM_Tucker2dRank1)->Arg(64)->Arg(128);
+
+void
+BM_RandomizedSvdRank8(benchmark::State &state)
+{
+    const auto n = static_cast<int64_t>(state.range(0));
+    Rng rng(5);
+    Tensor a = Tensor::randn({n, n}, rng);
+    for (auto _ : state) {
+        Rng r2(6);
+        SvdResult s = randomizedSvd(a, 8, r2);
+        benchmark::DoNotOptimize(s.s.data());
+    }
+}
+BENCHMARK(BM_RandomizedSvdRank8)->Arg(128)->Arg(256);
+
+void
+BM_DenseLinearForward(benchmark::State &state)
+{
+    Rng rng(7);
+    Linear l(176, 64, false, "bench", rng);
+    Tensor x = Tensor::randn({64, 64}, rng);
+    for (auto _ : state) {
+        Tensor y = l.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_DenseLinearForward);
+
+void
+BM_FactorizedLinearForward(benchmark::State &state)
+{
+    Rng rng(8);
+    Linear l(176, 64, false, "bench", rng);
+    l.factorize(static_cast<int64_t>(state.range(0)));
+    Tensor x = Tensor::randn({64, 64}, rng);
+    for (auto _ : state) {
+        Tensor y = l.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_FactorizedLinearForward)->Arg(1)->Arg(8)->Arg(16);
+
+void
+BM_DecodeStep(benchmark::State &state)
+{
+    TransformerModel model(tinyLlamaConfig(), 9);
+    InferenceSession session(model);
+    Tensor logits = session.append({1, 2, 3, 4});
+    for (auto _ : state) {
+        if (session.length() + 1 >= model.config().maxSeq) {
+            state.PauseTiming();
+            session.reset();
+            (void)session.append({1, 2, 3, 4});
+            state.ResumeTiming();
+        }
+        logits = session.append({5});
+        benchmark::DoNotOptimize(logits.data());
+    }
+}
+BENCHMARK(BM_DecodeStep);
+
+void
+BM_FullForward64(benchmark::State &state)
+{
+    TransformerModel model(tinyLlamaConfig(), 10);
+    TokenSeq tokens;
+    for (int i = 0; i < 64; ++i)
+        tokens.push_back(i % 100);
+    for (auto _ : state) {
+        Tensor logits = model.forward(tokens);
+        benchmark::DoNotOptimize(logits.data());
+    }
+}
+BENCHMARK(BM_FullForward64);
+
+} // namespace
+} // namespace lrd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Table 1: model size (FP16), computation count and
+ * compute-to-model-size ratio for ResNet-50, BERT-Base and Llama2-7B
+ * (language models at batch 1, sequence length 128).
+ *
+ * Note on the ResNet row: the paper reports 8.21 B "MACs", which is
+ * the common 2x-MAC FLOP count for ResNet-50; we print both the MAC
+ * count (4.1 B) and FLOPs so either convention can be compared.
+ */
+
+#include "bench_common.h"
+#include "hw/opcount.h"
+
+using namespace lrd;
+
+int
+main()
+{
+    TablePrinter t("Table 1: model size vs computation "
+                   "(paper values in parentheses)");
+    t.setHeader({"Model", "Size FP16", "MACs", "FLOPs",
+                 "MACs/byte (paper)"});
+
+    auto gb = [](double bytes) {
+        return bytes >= 1e9
+                   ? TablePrinter::num(bytes / 1e9, 1) + " GB"
+                   : TablePrinter::num(bytes / 1e6, 1) + " MB";
+    };
+    auto billions = [](double v) {
+        return TablePrinter::num(v / 1e9, 2) + " B";
+    };
+
+    {
+        const double params = static_cast<double>(resnet50Params());
+        const double macs = static_cast<double>(resnet50Macs());
+        t.addRow({"ResNet50 (CV)", gb(params * 2) + " (51.1 MB)",
+                  billions(macs) + " (8.21 B as FLOPs)",
+                  billions(2 * macs),
+                  TablePrinter::num(macs / (params * 2), 1) + " (160.7)"});
+    }
+
+    WorkloadParams wl;
+    wl.batch = 1;
+    wl.seqLen = 128;
+    const DecompConfig id = DecompConfig::identity();
+    struct Row { ModelConfig cfg; const char *size; const char *macs;
+                 const char *ratio; };
+    const Row rows[] = {
+        {bertBaseConfig(), "219.0 MB", "11.2 B", "51.1"},
+        {llama2_7bConfig(), "13.4 GB", "850.0 B", "63.4"},
+    };
+    for (const Row &r : rows) {
+        const double bytes =
+            static_cast<double>(transformerWeightBytes(r.cfg, id, 2));
+        const double macs =
+            static_cast<double>(transformerMacs(r.cfg, id, wl));
+        t.addRow({r.cfg.name, gb(bytes) + " (" + r.size + ")",
+                  billions(macs) + " (" + r.macs + ")",
+                  billions(2 * macs),
+                  TablePrinter::num(macs / bytes, 1) + " (" + r.ratio
+                      + ")"});
+    }
+    bench::emit(t, "table1_model_stats.csv");
+    return 0;
+}

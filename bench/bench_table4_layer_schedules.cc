@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Table 4: the decomposed-layer schedules and their
+ * parameter-reduction rates on the Llama2-7B shape, plus the scaled
+ * schedule ladder this repository uses for its trainable 8-layer
+ * stand-in model.
+ */
+
+#include <sstream>
+
+#include "bench_common.h"
+#include "dse/schedules.h"
+
+using namespace lrd;
+
+namespace {
+
+std::string
+joinLayers(const std::vector<int> &layers, int base)
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < layers.size(); ++i)
+        oss << (i ? "," : "") << layers[i] + base;
+    return oss.str();
+}
+
+} // namespace
+
+int
+main()
+{
+    const ModelConfig cfg = llama2_7bConfig();
+    TablePrinter t("Table 4: layer schedules on Llama2-7B "
+                   "(all 7 tensors, rank 1)");
+    t.setHeader({"Paper reduction", "Layers (1-based, as printed)",
+                 "Computed reduction"});
+    for (const Table4Row &row : paperTable4()) {
+        const DecompConfig gamma =
+            DecompConfig::allTensors(cfg, table4Layers0Based(row), 1);
+        t.addRow({TablePrinter::num(row.reductionPercent, 0) + "%",
+                  joinLayers(row.layers1Based, 0),
+                  bench::pct(gamma.parameterReduction(cfg))});
+    }
+    bench::emit(t, "table4_paper_schedules.csv");
+
+    const ModelConfig tiny = tinyLlamaConfig();
+    TablePrinter s("Scaled schedule ladder for the 8-layer stand-in "
+                   "(spreadSchedule)");
+    s.setHeader({"# layers", "Layers (0-based)", "Reduction"});
+    for (int count = 1; count <= tiny.nLayers; ++count) {
+        const auto layers =
+            spreadSchedule(static_cast<int>(tiny.nLayers), count);
+        const DecompConfig gamma =
+            DecompConfig::allTensors(tiny, layers, 1);
+        s.addRow({std::to_string(count), joinLayers(layers, 0),
+                  bench::pct(gamma.parameterReduction(tiny))});
+    }
+    bench::emit(s, "table4_scaled_schedules.csv");
+    return 0;
+}

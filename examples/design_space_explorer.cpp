@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The Definition-1 design-goal search as a command-line tool: given
+ * an accuracy-drop tolerance tau, find the decomposition minimizing
+ * the latency-energy product over the characterization-pruned space.
+ *
+ * Usage: design_space_explorer [tau]   (default tau = 0.05)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "dse/optimizer.h"
+#include "train/model_zoo.h"
+
+using namespace lrd;
+
+int
+main(int argc, char **argv)
+{
+    OptimizerOptions opts;
+    if (argc > 1)
+        opts.accuracyDropTolerance = std::atof(argv[1]);
+    opts.evalTasks = 60;
+
+    std::printf("Definition 1 search with tau = %.3f "
+                "(aggregate accuracy drop tolerance)\n\n",
+                opts.accuracyDropTolerance);
+
+    const auto bytes = pretrainedTinyLlama().serialize();
+    const OptimizerResult res =
+        optimizeDecomposition(bytes, defaultWorld(), opts);
+
+    std::printf("baseline: accuracy %.3f, EDP %.4f J*s\n\n",
+                res.baselineAccuracy, res.baselineEdp);
+    std::printf("%-44s %-8s %-8s %-10s %s\n", "candidate gamma",
+                "red%", "acc", "EDP", "feasible");
+    for (const CandidateRecord &rec : res.explored) {
+        std::printf("%-44s %-8.1f %-8.3f %-10.4f %s\n",
+                    rec.config.describe().c_str(), rec.reduction * 100.0,
+                    rec.accuracy, rec.edp, rec.feasible ? "yes" : "no");
+    }
+    std::printf("\nchosen: %s\n  accuracy %.3f (drop %.3f), EDP "
+                "improvement %.2fx, reduction %.1f%%\n",
+                res.best.config.describe().c_str(), res.best.accuracy,
+                res.baselineAccuracy - res.best.accuracy,
+                res.baselineEdp / res.best.edp,
+                res.best.reduction * 100.0);
+    return 0;
+}

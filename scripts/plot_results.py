@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Plot the CSVs written by the reproduction benches.
+
+Usage:
+    python3 scripts/plot_results.py [csv-dir] [out-dir]
+
+csv-dir defaults to the directory the benches were run from (they
+write CSVs into the working directory); out-dir defaults to
+<csv-dir>/plots. Requires matplotlib; each missing CSV is skipped with
+a note, so partial bench runs still plot.
+"""
+
+import os
+import sys
+import csv
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    return rows[0], rows[1:]
+
+
+def pct(value):
+    return float(value.rstrip("%"))
+
+
+def plot_fig9(csv_dir, out_dir, plt):
+    header, rows = read_csv(os.path.join(csv_dir, "fig9_accuracy_tradeoff.csv"))
+    x = [pct(r[0]) for r in rows]
+    plt.figure(figsize=(7, 4.5))
+    for col in range(1, len(header) - 1):
+        label = header[col].split(" (")[0]
+        plt.plot(x, [pct(r[col]) for r in rows], marker="o", label=label)
+    plt.xlabel("parameter reduction (%)")
+    plt.ylabel("accuracy (%)")
+    plt.title("Figure 9: accuracy vs model-size reduction")
+    plt.legend(fontsize=7)
+    plt.grid(alpha=0.3)
+    plt.tight_layout()
+    plt.savefig(os.path.join(out_dir, "fig9_accuracy_tradeoff.png"), dpi=150)
+    plt.close()
+
+
+def plot_fig7(csv_dir, out_dir, plt):
+    _, rows = read_csv(os.path.join(csv_dir, "fig7_layer_sensitivity.csv"))
+    rows = [r for r in rows if r[0] != "(none)"]
+    plt.figure(figsize=(6, 4))
+    plt.bar([int(r[0]) for r in rows], [pct(r[2]) for r in rows])
+    plt.xlabel("decomposed layer")
+    plt.ylabel("aggregate accuracy drop (%p)")
+    plt.title("Figure 7: single-layer sensitivity")
+    plt.tight_layout()
+    plt.savefig(os.path.join(out_dir, "fig7_layer_sensitivity.png"), dpi=150)
+    plt.close()
+
+
+def plot_efficiency(csv_dir, out_dir, plt):
+    series = [
+        ("fig10_latency_analytical.csv", 1, "latency (s)", "fig10"),
+        ("fig11_energy.csv", 1, "energy (J)", "fig11"),
+        ("fig12_memory.csv", 1, "memory (GB)", "fig12"),
+    ]
+    for name, col, ylabel, tag in series:
+        path = os.path.join(csv_dir, name)
+        if not os.path.exists(path):
+            print(f"skip {name}")
+            continue
+        _, rows = read_csv(path)
+        x = [pct(r[0]) for r in rows]
+        y = [float(r[col]) for r in rows]
+        plt.figure(figsize=(5.5, 4))
+        plt.plot(x, y, marker="s")
+        plt.xlabel("parameter reduction (%)")
+        plt.ylabel(ylabel)
+        plt.title(f"{tag}: {ylabel} vs reduction (Llama2-7B, A100)")
+        plt.grid(alpha=0.3)
+        plt.tight_layout()
+        plt.savefig(os.path.join(out_dir, f"{tag}.png"), dpi=150)
+        plt.close()
+
+
+def plot_baselines(csv_dir, out_dir, plt):
+    path = os.path.join(csv_dir, "ext_baselines.csv")
+    if not os.path.exists(path):
+        print("skip ext_baselines.csv")
+        return
+    _, rows = read_csv(path)
+    plt.figure(figsize=(6, 4.5))
+    groups = {}
+    for r in rows:
+        groups.setdefault(r[0], []).append((pct(r[2]), pct(r[3])))
+    for name, pts in groups.items():
+        pts.sort()
+        plt.plot([p[0] for p in pts], [p[1] for p in pts], marker="o",
+                 label=name)
+    plt.xlabel("model size (% of dense)")
+    plt.ylabel("mean accuracy (%)")
+    plt.title("Compression families: accuracy vs size")
+    plt.legend(fontsize=8)
+    plt.grid(alpha=0.3)
+    plt.tight_layout()
+    plt.savefig(os.path.join(out_dir, "ext_baselines.png"), dpi=150)
+    plt.close()
+
+
+def main():
+    csv_dir = sys.argv[1] if len(sys.argv) > 1 else "."
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else os.path.join(csv_dir,
+                                                                 "plots")
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    os.makedirs(out_dir, exist_ok=True)
+    for fn in (plot_fig9, plot_fig7, plot_efficiency, plot_baselines):
+        try:
+            fn(csv_dir, out_dir, plt)
+        except FileNotFoundError as e:
+            print(f"skip: {e}")
+    print(f"plots written to {out_dir}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#include "design_space.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lrd {
+
+uint64_t
+designSpaceSizeExact(int64_t nLayers, int64_t nTensors, int64_t rank)
+{
+    require(nLayers >= 1 && nTensors >= 1 && rank >= 1,
+            "designSpaceSizeExact: dimensions must be >= 1");
+    require(nLayers < 63 && nTensors < 63,
+            "designSpaceSizeExact: use designSpaceSizeLog2 for large "
+            "models");
+    const uint64_t layerChoices = (1ULL << nLayers) - 1;
+    const uint64_t tensorChoices = (1ULL << nTensors) - 1;
+    // Overflow-checked product.
+    __uint128_t total = static_cast<__uint128_t>(layerChoices)
+                        * tensorChoices * static_cast<uint64_t>(rank);
+    total += 1;
+    require(total <= UINT64_MAX,
+            "designSpaceSizeExact: size exceeds 64 bits; use "
+            "designSpaceSizeLog2");
+    return static_cast<uint64_t>(total);
+}
+
+double
+designSpaceSizeLog2(int64_t nLayers, int64_t nTensors, int64_t rank)
+{
+    require(nLayers >= 1 && nTensors >= 1 && rank >= 1,
+            "designSpaceSizeLog2: dimensions must be >= 1");
+    // Exact when the count fits in 64 bits; otherwise the "+1" term
+    // is far below double precision and log-space evaluation of
+    // (2^L - 1)(2^K - 1) r is exact enough.
+    if (nLayers < 63 && nTensors < 63) {
+        const double l = std::exp2(static_cast<double>(nLayers)) - 1.0;
+        const double k = std::exp2(static_cast<double>(nTensors)) - 1.0;
+        const double total = l * k * static_cast<double>(rank) + 1.0;
+        if (total < 9.0e18)
+            return std::log2(total);
+    }
+    const double l = std::log2(std::exp2(static_cast<double>(nLayers)) - 1.0);
+    const double k =
+        std::log2(std::exp2(static_cast<double>(nTensors)) - 1.0);
+    return l + k + std::log2(static_cast<double>(rank));
+}
+
+uint64_t
+designSpaceSizeExact(const ModelConfig &cfg, int64_t rank)
+{
+    return designSpaceSizeExact(cfg.nLayers, cfg.numDecomposableTensors(),
+                                rank);
+}
+
+double
+designSpaceSizeLog2(const ModelConfig &cfg, int64_t rank)
+{
+    return designSpaceSizeLog2(cfg.nLayers, cfg.numDecomposableTensors(),
+                               rank);
+}
+
+std::vector<DecompConfig>
+enumerateUniformConfigs(const ModelConfig &cfg, int64_t maxRank)
+{
+    require(cfg.nLayers <= 16 && cfg.numDecomposableTensors() <= 16,
+            "enumerateUniformConfigs: model too large to enumerate");
+    const auto kinds = decomposableKinds(cfg.arch);
+    const int64_t nL = cfg.nLayers;
+    const auto nT = static_cast<int64_t>(kinds.size());
+
+    std::vector<DecompConfig> out;
+    out.push_back(DecompConfig::identity());
+    for (uint64_t lMask = 1; lMask < (1ULL << nL); ++lMask) {
+        std::vector<int> layers;
+        for (int64_t l = 0; l < nL; ++l)
+            if (lMask & (1ULL << l))
+                layers.push_back(static_cast<int>(l));
+        for (uint64_t tMask = 1; tMask < (1ULL << nT); ++tMask) {
+            std::vector<WeightKind> tensors;
+            for (int64_t t = 0; t < nT; ++t)
+                if (tMask & (1ULL << t))
+                    tensors.push_back(kinds[static_cast<size_t>(t)]);
+            for (int64_t r = 1; r <= maxRank; ++r) {
+                DecompConfig c;
+                c.layers = layers;
+                c.tensors = tensors;
+                c.prunedRank = r;
+                out.push_back(std::move(c));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace lrd

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The decomposition design space S_LR (Definition 5) and its size
+ * (Theorem 3.2):
+ *
+ *   |S_LR(m)| = (2^N_Layers - 1) * (2^N_Tensors - 1) * rank + 1
+ *
+ * plus a brute-force enumerator used to validate the closed form on
+ * small models and to drive exhaustive searches on the pruned space.
+ */
+
+#ifndef LRD_DSE_DESIGN_SPACE_H
+#define LRD_DSE_DESIGN_SPACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dse/decomp_config.h"
+
+namespace lrd {
+
+/**
+ * Exact design-space size (Theorem 3.2) for dimensions small enough
+ * to fit in 64 bits. @throws via fatal() on overflow.
+ */
+uint64_t designSpaceSizeExact(int64_t nLayers, int64_t nTensors,
+                              int64_t rank);
+
+/** log2 of the design-space size; valid for any model scale
+ *  (Table 2's O(2^x) column). */
+double designSpaceSizeLog2(int64_t nLayers, int64_t nTensors, int64_t rank);
+
+/** Design-space size for a model config at a given uniform rank. */
+uint64_t designSpaceSizeExact(const ModelConfig &cfg, int64_t rank);
+double designSpaceSizeLog2(const ModelConfig &cfg, int64_t rank);
+
+/**
+ * Enumerate every valid uniform-rank configuration of the model:
+ * all (non-empty layer subset) x (non-empty tensor subset) x
+ * (rank in [1, maxRank]) combinations plus the identity. Exponential;
+ * intended for tiny models (tests) and the paper's pruned O(32)
+ * space.
+ */
+std::vector<DecompConfig> enumerateUniformConfigs(const ModelConfig &cfg,
+                                                  int64_t maxRank);
+
+} // namespace lrd
+
+#endif // LRD_DSE_DESIGN_SPACE_H

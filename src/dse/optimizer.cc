@@ -1,0 +1,105 @@
+#include "optimizer.h"
+
+#include <limits>
+
+#include "dse/schedules.h"
+#include "util/logging.h"
+
+namespace lrd {
+
+OptimizerOptions::OptimizerOptions()
+    : device(a100_80gb())
+{
+}
+
+OptimizerResult
+optimizeDecomposition(const std::vector<uint8_t> &modelBytes,
+                      const World &world, const OptimizerOptions &opts)
+{
+    require(opts.accuracyDropTolerance >= 0.0,
+            "optimizeDecomposition: tau must be >= 0");
+    require(!opts.candidateRanks.empty(),
+            "optimizeDecomposition: no candidate ranks");
+
+    OptimizerResult result;
+
+    // EDP is computed either on the probe model's own shape or
+    // projected onto the full Llama2-7B shape at the same reduction.
+    const ModelConfig edpShape = llama2_7bConfig();
+    auto edpEstimate = [&](const ModelConfig &probeCfg,
+                           const DecompConfig &gamma) {
+        if (!opts.projectEdpOnLlama7b)
+            return estimateGeneration(probeCfg, gamma, opts.device,
+                                      opts.workload);
+        const DecompConfig projected = scheduleForReduction(
+            edpShape, gamma.parameterReduction(probeCfg));
+        return estimateGeneration(edpShape, projected, opts.device,
+                                  opts.workload);
+    };
+
+    // Baseline accuracy and EDP on the dense model.
+    ModelConfig probeCfg;
+    {
+        TransformerModel dense = TransformerModel::deserialize(modelBytes);
+        probeCfg = dense.config();
+        Evaluator ev(dense, world,
+                     EvalOptions{opts.evalTasks, opts.evalSeed, false});
+        result.baselineAccuracy = ev.aggregateAccuracy();
+        const InferenceEstimate est =
+            edpEstimate(probeCfg, DecompConfig::identity());
+        result.baselineEdp = est.latencySec * est.energyJoules;
+    }
+
+    // Pruned candidate family (Section 3.4 insights): all tensors,
+    // spread interior layer schedules, small ranks.
+    double bestEdp = std::numeric_limits<double>::infinity();
+    bool haveBest = false;
+    TransformerModel probe = TransformerModel::deserialize(modelBytes);
+    const ModelConfig cfg = probe.config();
+    for (int64_t rank : opts.candidateRanks) {
+        for (int count = 1; count <= cfg.nLayers; ++count) {
+            DecompConfig gamma = DecompConfig::allTensors(
+                cfg, spreadSchedule(static_cast<int>(cfg.nLayers), count),
+                rank);
+
+            TransformerModel model =
+                TransformerModel::deserialize(modelBytes);
+            gamma.applyTo(model);
+            Evaluator ev(model, world,
+                         EvalOptions{opts.evalTasks, opts.evalSeed,
+                                     false});
+
+            CandidateRecord rec;
+            rec.config = gamma;
+            rec.accuracy = ev.aggregateAccuracy();
+            rec.reduction = gamma.parameterReduction(cfg);
+            const InferenceEstimate est = edpEstimate(cfg, gamma);
+            rec.latencySec = est.latencySec;
+            rec.energyJ = est.energyJoules;
+            rec.edp = est.latencySec * est.energyJoules;
+            rec.feasible =
+                std::max(result.baselineAccuracy - rec.accuracy, 0.0)
+                < opts.accuracyDropTolerance;
+
+            if (rec.feasible && rec.edp < bestEdp) {
+                bestEdp = rec.edp;
+                result.best = rec;
+                haveBest = true;
+            }
+            result.explored.push_back(std::move(rec));
+        }
+    }
+
+    if (!haveBest) {
+        // No decomposition satisfies tau: the identity is the answer.
+        CandidateRecord identity;
+        identity.config = DecompConfig::identity();
+        identity.accuracy = result.baselineAccuracy;
+        identity.edp = result.baselineEdp;
+        identity.feasible = true;
+        result.best = identity;
+    }
+    return result;
+}
+
+} // namespace lrd

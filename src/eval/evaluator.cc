@@ -1,0 +1,159 @@
+#include "evaluator.h"
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace lrd {
+
+Evaluator::Evaluator(TransformerModel &model, const World &world,
+                     EvalOptions opts)
+    : model_(model), world_(world), opts_(opts)
+{
+    require(opts_.numTasks > 0, "Evaluator: numTasks must be positive");
+}
+
+int
+Evaluator::pickChoiceCausal(const McTask &task)
+{
+    InferenceSession base(model_);
+    Tensor firstLogits = base.append(task.context);
+
+    double bestScore = -std::numeric_limits<double>::infinity();
+    int best = 0;
+    for (size_t c = 0; c < task.choices.size(); ++c) {
+        const TokenSeq &choice = task.choices[c];
+        require(!choice.empty(), "Evaluator: empty choice");
+        // Copy the shared-context session so each choice extends its
+        // own KV cache.
+        InferenceSession session = base;
+        Tensor logits = firstLogits;
+        double ll = 0.0;
+        for (size_t i = 0; i < choice.size(); ++i) {
+            Tensor lp = logSoftmaxLastDim(logits);
+            ll += lp[choice[i]];
+            if (i + 1 < choice.size())
+                logits = session.append({choice[i]});
+        }
+        if (opts_.lengthNormalize)
+            ll /= static_cast<double>(choice.size());
+        if (ll > bestScore) {
+            bestScore = ll;
+            best = static_cast<int>(c);
+        }
+    }
+    return best;
+}
+
+int
+Evaluator::pickChoiceBert(const McTask &task)
+{
+    double bestScore = -std::numeric_limits<double>::infinity();
+    int best = 0;
+    for (size_t c = 0; c < task.choices.size(); ++c) {
+        const TokenSeq &choice = task.choices[c];
+        TokenSeq seq = task.context;
+        seq.insert(seq.end(), choice.begin(), choice.end());
+        const size_t start = task.context.size();
+        double ll = 0.0;
+        for (size_t i = 0; i < choice.size(); ++i) {
+            TokenSeq masked = seq;
+            masked[start + i] = world_.maskToken();
+            Tensor logits = model_.forward(masked);
+            Tensor lp = logSoftmaxLastDim(logits);
+            ll += lp(static_cast<int64_t>(start + i), choice[i]);
+        }
+        if (opts_.lengthNormalize)
+            ll /= static_cast<double>(choice.size());
+        if (ll > bestScore) {
+            bestScore = ll;
+            best = static_cast<int>(c);
+        }
+    }
+    return best;
+}
+
+EvalResult
+Evaluator::runMc(BenchmarkKind kind)
+{
+    const auto tasks =
+        makeMcTasks(kind, world_, opts_.numTasks, opts_.seed);
+    const bool causal = model_.config().arch == Arch::LlamaStyle;
+    EvalResult res;
+    for (const McTask &task : tasks) {
+        const int pick =
+            causal ? pickChoiceCausal(task) : pickChoiceBert(task);
+        res.numCorrect += pick == task.gold;
+        ++res.numTasks;
+    }
+    res.accuracy = static_cast<double>(res.numCorrect) / res.numTasks;
+    model_.clearCache();
+    return res;
+}
+
+EvalResult
+Evaluator::runGen()
+{
+    const auto tasks = makeGsm8kTasks(world_, opts_.numTasks, opts_.seed);
+    EvalResult res;
+    const bool causal = model_.config().arch == Arch::LlamaStyle;
+    for (const GenTask &task : tasks) {
+        bool correct = false;
+        if (causal) {
+            const TokenSeq out = greedyGenerate(
+                model_, task.prompt,
+                static_cast<int>(task.expected.size()), /*stopToken=*/-1);
+            correct = out == task.expected;
+        } else {
+            // Encoder models answer by masked-slot prediction.
+            TokenSeq seq = task.prompt;
+            const size_t slot = seq.size();
+            seq.push_back(world_.maskToken());
+            Tensor logits = model_.forward(seq);
+            int argmax = 0;
+            const int64_t v = logits.dim(1);
+            for (int64_t j = 1; j < v; ++j)
+                if (logits(static_cast<int64_t>(slot), j)
+                    > logits(static_cast<int64_t>(slot), argmax))
+                    argmax = static_cast<int>(j);
+            correct = task.expected.size() == 1
+                      && argmax == task.expected[0];
+        }
+        res.numCorrect += correct;
+        ++res.numTasks;
+    }
+    res.accuracy = static_cast<double>(res.numCorrect) / res.numTasks;
+    model_.clearCache();
+    return res;
+}
+
+EvalResult
+Evaluator::run(BenchmarkKind kind)
+{
+    if (kind == BenchmarkKind::Gsm8k)
+        return runGen();
+    return runMc(kind);
+}
+
+std::map<BenchmarkKind, EvalResult>
+Evaluator::runAll()
+{
+    std::map<BenchmarkKind, EvalResult> out;
+    for (BenchmarkKind kind : allBenchmarks())
+        out[kind] = run(kind);
+    return out;
+}
+
+double
+Evaluator::aggregateAccuracy()
+{
+    const auto all = runAll();
+    double sum = 0.0;
+    for (const auto &[kind, res] : all)
+        sum += res.accuracy;
+    return sum / static_cast<double>(all.size());
+}
+
+} // namespace lrd

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Benchmark task representations: multiple-choice tasks scored by
+ * log-likelihood (the lm-evaluation-harness method the paper uses)
+ * and generation tasks scored by exact match (GSM8K-style).
+ */
+
+#ifndef LRD_EVAL_TASK_H
+#define LRD_EVAL_TASK_H
+
+#include <string>
+#include <vector>
+
+#include "model/embedding.h"
+
+namespace lrd {
+
+/** One multiple-choice item. */
+struct McTask
+{
+    TokenSeq context;                ///< Prompt (starts with <bos>).
+    std::vector<TokenSeq> choices;   ///< Candidate continuations.
+    int gold = 0;                    ///< Index of the correct choice.
+};
+
+/** One generation item (exact-match scored). */
+struct GenTask
+{
+    TokenSeq prompt;   ///< Few-shot prompt (starts with <bos>).
+    TokenSeq expected; ///< Tokens the model must emit verbatim.
+};
+
+/** Accuracy summary for one benchmark run. */
+struct EvalResult
+{
+    double accuracy = 0.0; ///< Fraction correct in [0, 1].
+    int numTasks = 0;
+    int numCorrect = 0;
+};
+
+} // namespace lrd
+
+#endif // LRD_EVAL_TASK_H

@@ -1,0 +1,43 @@
+#include "device.h"
+
+namespace lrd {
+
+DeviceSpec
+a100_80gb()
+{
+    DeviceSpec d;
+    d.name = "A100-80GB";
+    d.peakMacsPerSec = 156e12; // 312 TFLOPS FP16 (dense)
+    d.memBandwidthBps = 2.039e12;
+    d.powerWatts = 300.0; // paper Section 4.3: pinned at max power
+    d.memCapacityBytes = 80e9;
+    return d;
+}
+
+DeviceSpec
+h100_80gb()
+{
+    DeviceSpec d;
+    d.name = "H100-80GB";
+    d.peakMacsPerSec = 495e12; // ~990 TFLOPS FP16 (dense)
+    d.memBandwidthBps = 3.35e12;
+    d.powerWatts = 700.0;
+    d.memCapacityBytes = 80e9;
+    return d;
+}
+
+DeviceSpec
+cpuCore()
+{
+    DeviceSpec d;
+    d.name = "CPU-core";
+    d.peakMacsPerSec = 8e9;       // one AVX2 core, FP32
+    d.memBandwidthBps = 20e9;
+    d.powerWatts = 15.0;
+    d.memCapacityBytes = 16e9;
+    d.computeEfficiency = 0.5;
+    d.bandwidthEfficiency = 0.6;
+    return d;
+}
+
+} // namespace lrd

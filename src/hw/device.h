@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Hardware device specifications for the analytical performance
+ * model. The A100 spec mirrors the paper's testbed (4x NVIDIA
+ * A100-80GB; nvidia-smi reported 300 W at full utilization).
+ */
+
+#ifndef LRD_HW_DEVICE_H
+#define LRD_HW_DEVICE_H
+
+#include <string>
+
+namespace lrd {
+
+/** An accelerator (or CPU) for the roofline model. */
+struct DeviceSpec
+{
+    std::string name;
+    double peakMacsPerSec = 0;  ///< Dense FP16 MACs/s.
+    double memBandwidthBps = 0; ///< HBM/DRAM bandwidth, bytes/s.
+    double powerWatts = 0;      ///< Steady-state board power.
+    double memCapacityBytes = 0;
+    /** Achievable fractions of peak (kernel efficiency). */
+    double computeEfficiency = 0.6;
+    double bandwidthEfficiency = 0.8;
+};
+
+/** NVIDIA A100-80GB (the paper's GPU; 312 TFLOPS FP16 = 156 T MAC/s,
+ *  2.039 TB/s HBM2e, 300 W observed at 100% utilization). */
+DeviceSpec a100_80gb();
+
+/** NVIDIA H100-80GB SXM (for what-if sweeps). */
+DeviceSpec h100_80gb();
+
+/** A single server-class CPU core (for cross-checking against the
+ *  repository's real CPU measurements). */
+DeviceSpec cpuCore();
+
+} // namespace lrd
+
+#endif // LRD_HW_DEVICE_H

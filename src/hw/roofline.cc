@@ -1,0 +1,109 @@
+#include "roofline.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lrd {
+
+namespace {
+/** Fixed runtime overhead: CUDA context + framework workspace. */
+constexpr double kRuntimeOverheadBytes = 2.0e9;
+} // namespace
+
+RooflineResult
+roofline(int64_t macs, int64_t bytes, const DeviceSpec &dev)
+{
+    require(dev.peakMacsPerSec > 0 && dev.memBandwidthBps > 0,
+            "roofline: device peaks must be positive");
+    RooflineResult r;
+    r.computeSec = static_cast<double>(macs)
+                   / (dev.peakMacsPerSec * dev.computeEfficiency);
+    r.memorySec = static_cast<double>(bytes)
+                  / (dev.memBandwidthBps * dev.bandwidthEfficiency);
+    r.memoryBound = r.memorySec >= r.computeSec;
+    r.latencySec = std::max(r.computeSec, r.memorySec);
+    return r;
+}
+
+double
+memoryFootprintBytes(const ModelConfig &cfg, const DecompConfig &gamma,
+                     const GenerationWorkload &wl)
+{
+    const double weights = static_cast<double>(
+        transformerWeightBytes(cfg, gamma, wl.bytesPerParam));
+    const double kv =
+        static_cast<double>(kvCacheBytesPerToken(cfg, wl.bytesPerParam))
+        * static_cast<double>(wl.batch)
+        * static_cast<double>(wl.promptLen + wl.decodeTokens);
+    // Activation workspace: a few residual-width buffers plus the
+    // logits for one forward of the prompt.
+    const double acts =
+        static_cast<double>(wl.batch) * wl.promptLen
+            * (4.0 * cfg.dModel + cfg.dFf) * wl.bytesPerParam
+        + static_cast<double>(wl.batch) * cfg.vocabSize * wl.bytesPerParam;
+    return weights + kv + acts + kRuntimeOverheadBytes;
+}
+
+InferenceEstimate
+estimateGeneration(const ModelConfig &cfg, const DecompConfig &gamma,
+                   const DeviceSpec &dev, const GenerationWorkload &wl)
+{
+    WorkloadParams prefill;
+    prefill.batch = wl.batch;
+    prefill.seqLen = wl.promptLen;
+    prefill.bytesPerParam = wl.bytesPerParam;
+
+    const int64_t weightBytes =
+        transformerWeightBytes(cfg, gamma, wl.bytesPerParam);
+
+    // Prefill: compute-heavy; traffic = weights once + activations.
+    const int64_t prefillMacs = transformerMacs(cfg, gamma, prefill);
+    const int64_t prefillBytes =
+        weightBytes
+        + wl.batch * wl.promptLen * (4 * cfg.dModel + cfg.dFf)
+              * wl.bytesPerParam;
+    const RooflineResult pre = roofline(prefillMacs, prefillBytes, dev);
+
+    // Decode: one step per generated token; weights re-read each
+    // step (the memory-bound regime the paper describes), plus the
+    // growing KV cache.
+    double decodeSec = 0;
+    const int64_t kvPerTok = kvCacheBytesPerToken(cfg, wl.bytesPerParam);
+    for (int64_t t = 0; t < wl.decodeTokens; ++t) {
+        const int64_t ctx = wl.promptLen + t;
+        const int64_t macs =
+            transformerDecodeMacs(cfg, gamma, wl.batch, ctx);
+        const int64_t bytes = weightBytes + wl.batch * ctx * kvPerTok;
+        decodeSec += roofline(macs, bytes, dev).latencySec;
+    }
+
+    InferenceEstimate est;
+    est.prefillSec = pre.latencySec;
+    est.decodeSec = decodeSec;
+    est.latencySec = est.prefillSec + est.decodeSec;
+    est.energyJoules = est.latencySec * dev.powerWatts;
+    est.memBytes = memoryFootprintBytes(cfg, gamma, wl);
+    est.tokensPerSec =
+        static_cast<double>(wl.batch * wl.decodeTokens) / est.latencySec;
+    return est;
+}
+
+MultiGpuEstimate
+estimateGenerationMultiGpu(const ModelConfig &cfg,
+                           const DecompConfig &gamma,
+                           const DeviceSpec &dev,
+                           const GenerationWorkload &wl, int numGpus)
+{
+    require(numGpus >= 1,
+            "estimateGenerationMultiGpu: need at least one GPU");
+    MultiGpuEstimate est;
+    est.perGpu = estimateGeneration(cfg, gamma, dev, wl);
+    est.numGpus = numGpus;
+    est.aggregateTokensPerSec = est.perGpu.tokensPerSec * numGpus;
+    est.totalEnergyJoules = est.perGpu.energyJoules * numGpus;
+    est.totalMemBytes = est.perGpu.memBytes * numGpus;
+    return est;
+}
+
+} // namespace lrd

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Roofline latency / energy / memory-footprint model.
+ *
+ * The paper observes (Section 4.3) that LLM inference pins the GPU at
+ * maximum power, so energy = P_max x latency; and that inference is
+ * memory-bound, so the decode latency tracks weight + KV traffic.
+ * This model reproduces those relationships analytically for the
+ * full-size model shapes the paper measures.
+ */
+
+#ifndef LRD_HW_ROOFLINE_H
+#define LRD_HW_ROOFLINE_H
+
+#include "dse/decomp_config.h"
+#include "hw/device.h"
+#include "hw/opcount.h"
+
+namespace lrd {
+
+/** Compute-vs-memory timing of one kernel/pass. */
+struct RooflineResult
+{
+    double computeSec = 0;
+    double memorySec = 0;
+    double latencySec = 0; ///< max(computeSec, memorySec).
+    bool memoryBound = false;
+};
+
+/** Core roofline: time to execute `macs` touching `bytes`. */
+RooflineResult roofline(int64_t macs, int64_t bytes,
+                        const DeviceSpec &dev);
+
+/** Workload for an end-to-end generation estimate. */
+struct GenerationWorkload
+{
+    int64_t batch = 16;
+    int64_t promptLen = 512;
+    int64_t decodeTokens = 128;
+    int bytesPerParam = 2;
+};
+
+/** End-to-end estimate of one generation batch. */
+struct InferenceEstimate
+{
+    double prefillSec = 0;
+    double decodeSec = 0;
+    double latencySec = 0; ///< prefill + decode.
+    double energyJoules = 0;
+    double memBytes = 0; ///< Peak device memory footprint.
+    double tokensPerSec = 0;
+};
+
+/**
+ * Estimate latency / energy / memory of a generation workload for a
+ * model under a decomposition gamma on a device.
+ */
+InferenceEstimate estimateGeneration(const ModelConfig &cfg,
+                                     const DecompConfig &gamma,
+                                     const DeviceSpec &dev,
+                                     const GenerationWorkload &wl);
+
+/**
+ * Peak memory footprint: weights + KV cache + activation workspace +
+ * fixed runtime overhead (CUDA context, framework buffers).
+ */
+double memoryFootprintBytes(const ModelConfig &cfg,
+                            const DecompConfig &gamma,
+                            const GenerationWorkload &wl);
+
+/** Aggregate estimate for a data-parallel multi-GPU deployment. */
+struct MultiGpuEstimate
+{
+    InferenceEstimate perGpu; ///< One replica's estimate.
+    int numGpus = 1;
+    double aggregateTokensPerSec = 0;
+    double totalEnergyJoules = 0;
+    double totalMemBytes = 0;
+};
+
+/**
+ * Data-parallel serving across `numGpus` replicas (the paper's 4x
+ * A100 testbed): each GPU holds a full model copy and serves its own
+ * batch, so latency matches the single-GPU estimate while throughput
+ * and energy scale with the replica count.
+ */
+MultiGpuEstimate estimateGenerationMultiGpu(const ModelConfig &cfg,
+                                            const DecompConfig &gamma,
+                                            const DeviceSpec &dev,
+                                            const GenerationWorkload &wl,
+                                            int numGpus);
+
+} // namespace lrd
+
+#endif // LRD_HW_ROOFLINE_H

@@ -1,0 +1,301 @@
+#include "attention.h"
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace lrd {
+
+MultiHeadAttention::MultiHeadAttention(const ModelConfig &cfg,
+                                       int64_t layerIdx, Rng &rng)
+    : dModel_(cfg.dModel), nHeads_(cfg.nHeads), kvHeads_(cfg.kvHeads()),
+      kvDim_(cfg.kvDim()), headDim_(cfg.headDim()),
+      causal_(cfg.causal()), useRope_(cfg.arch == Arch::LlamaStyle)
+{
+    const bool bias = cfg.arch == Arch::BertStyle;
+    const std::string base = strCat("layer", layerIdx, ".attn.");
+    wq_ = std::make_unique<Linear>(dModel_, dModel_, bias, base + "wq", rng);
+    wk_ = std::make_unique<Linear>(kvDim_, dModel_, bias, base + "wk", rng);
+    wv_ = std::make_unique<Linear>(kvDim_, dModel_, bias, base + "wv", rng);
+    wso_ =
+        std::make_unique<Linear>(dModel_, dModel_, bias, base + "wso", rng);
+    // Scale the residual-branch output projection down by
+    // 1/sqrt(2 * nLayers) (GPT-2-style init) so deep post-LN stacks
+    // train stably.
+    const float scale =
+        1.0F / std::sqrt(2.0F * static_cast<float>(cfg.nLayers));
+    for (int64_t i = 0; i < wso_->weight().value.size(); ++i)
+        wso_->weight().value[i] *= scale;
+}
+
+void
+MultiHeadAttention::applyRope(Tensor &qk, int64_t startPos, bool inverse,
+                              int64_t heads) const
+{
+    if (!useRope_)
+        return;
+    const int64_t n = qk.dim(0);
+    const int64_t width = heads * headDim_;
+    for (int64_t i = 0; i < n; ++i) {
+        const auto p = static_cast<double>(startPos + i);
+        float *row = qk.data() + i * width;
+        for (int64_t h = 0; h < heads; ++h) {
+            float *head = row + h * headDim_;
+            for (int64_t d = 0; d < headDim_; d += 2) {
+                const double freq = std::pow(
+                    10000.0, -static_cast<double>(d) / headDim_);
+                double angle = p * freq;
+                if (inverse)
+                    angle = -angle;
+                const auto c = static_cast<float>(std::cos(angle));
+                const auto s = static_cast<float>(std::sin(angle));
+                const float x = head[d];
+                const float y = head[d + 1];
+                head[d] = x * c - y * s;
+                head[d + 1] = x * s + y * c;
+            }
+        }
+    }
+}
+
+Tensor
+MultiHeadAttention::forward(const Tensor &x)
+{
+    require(x.rank() == 2 && x.dim(1) == dModel_,
+            strCat("MultiHeadAttention::forward: bad input ",
+                   shapeToString(x.shape())));
+    const int64_t t = x.dim(0);
+    cachedQ_ = wq_->forward(x);
+    cachedK_ = wk_->forward(x);
+    cachedV_ = wv_->forward(x);
+    applyRope(cachedQ_, 0, false, nHeads_);
+    applyRope(cachedK_, 0, false, kvHeads_);
+
+    const float invSqrt = 1.0F / std::sqrt(static_cast<float>(headDim_));
+    cachedProbs_ = Tensor({nHeads_, t, t});
+    Tensor ctx({t, dModel_});
+
+    const int64_t group = nHeads_ / kvHeads_;
+    for (int64_t h = 0; h < nHeads_; ++h) {
+        const int64_t kvh = h / group;
+        float *probs = cachedProbs_.data() + h * t * t;
+        for (int64_t i = 0; i < t; ++i) {
+            const float *qrow = cachedQ_.data() + i * dModel_ + h * headDim_;
+            float *prow = probs + i * t;
+            const int64_t limit = causal_ ? i + 1 : t;
+            float mx = -std::numeric_limits<float>::infinity();
+            for (int64_t j = 0; j < limit; ++j) {
+                const float *krow =
+                    cachedK_.data() + j * kvDim_ + kvh * headDim_;
+                float s = 0.0F;
+                for (int64_t d = 0; d < headDim_; ++d)
+                    s += qrow[d] * krow[d];
+                s *= invSqrt;
+                prow[j] = s;
+                mx = std::max(mx, s);
+            }
+            float sum = 0.0F;
+            for (int64_t j = 0; j < limit; ++j) {
+                prow[j] = std::exp(prow[j] - mx);
+                sum += prow[j];
+            }
+            const float inv = 1.0F / sum;
+            for (int64_t j = 0; j < limit; ++j)
+                prow[j] *= inv;
+            for (int64_t j = limit; j < t; ++j)
+                prow[j] = 0.0F;
+            // ctx row = P V for this head.
+            float *crow = ctx.data() + i * dModel_ + h * headDim_;
+            for (int64_t j = 0; j < limit; ++j) {
+                const float *vrow =
+                    cachedV_.data() + j * kvDim_ + kvh * headDim_;
+                const float p = prow[j];
+                for (int64_t d = 0; d < headDim_; ++d)
+                    crow[d] += p * vrow[d];
+            }
+        }
+    }
+    return wso_->forward(ctx);
+}
+
+Tensor
+MultiHeadAttention::backward(const Tensor &dy)
+{
+    const int64_t t = dy.dim(0);
+    require(cachedProbs_.rank() == 3 && cachedProbs_.dim(1) == t,
+            "MultiHeadAttention::backward: no matching forward cached");
+    Tensor dCtx = wso_->backward(dy);
+
+    const float invSqrt = 1.0F / std::sqrt(static_cast<float>(headDim_));
+    Tensor dq({t, dModel_});
+    Tensor dk({t, kvDim_});
+    Tensor dv({t, kvDim_});
+
+    std::vector<float> dprow(static_cast<size_t>(t));
+    const int64_t group = nHeads_ / kvHeads_;
+    for (int64_t h = 0; h < nHeads_; ++h) {
+        const int64_t kvh = h / group;
+        const float *probs = cachedProbs_.data() + h * t * t;
+        for (int64_t i = 0; i < t; ++i) {
+            const float *prow = probs + i * t;
+            const float *dcrow = dCtx.data() + i * dModel_ + h * headDim_;
+            const int64_t limit = causal_ ? i + 1 : t;
+            // dP = dCtx V^T ; dV += P^T dCtx.
+            for (int64_t j = 0; j < limit; ++j) {
+                const float *vrow =
+                    cachedV_.data() + j * kvDim_ + kvh * headDim_;
+                float *dvrow = dv.data() + j * kvDim_ + kvh * headDim_;
+                float acc = 0.0F;
+                const float p = prow[j];
+                for (int64_t d = 0; d < headDim_; ++d) {
+                    acc += dcrow[d] * vrow[d];
+                    dvrow[d] += p * dcrow[d];
+                }
+                dprow[static_cast<size_t>(j)] = acc;
+            }
+            // Softmax backward: dS_j = P_j (dP_j - sum_k P_k dP_k).
+            float inner = 0.0F;
+            for (int64_t j = 0; j < limit; ++j)
+                inner += prow[j] * dprow[static_cast<size_t>(j)];
+            const float *qrow = cachedQ_.data() + i * dModel_ + h * headDim_;
+            float *dqrow = dq.data() + i * dModel_ + h * headDim_;
+            for (int64_t j = 0; j < limit; ++j) {
+                const float ds =
+                    prow[j] * (dprow[static_cast<size_t>(j)] - inner)
+                    * invSqrt;
+                const float *krow =
+                    cachedK_.data() + j * kvDim_ + kvh * headDim_;
+                float *dkrow = dk.data() + j * kvDim_ + kvh * headDim_;
+                for (int64_t d = 0; d < headDim_; ++d) {
+                    dqrow[d] += ds * krow[d];
+                    dkrow[d] += ds * qrow[d];
+                }
+            }
+        }
+    }
+
+    // Invert RoPE on the gradients (rotation is orthogonal).
+    applyRope(dq, 0, true, nHeads_);
+    applyRope(dk, 0, true, kvHeads_);
+
+    Tensor dx = wq_->backward(dq);
+    axpy(dx, 1.0F, wk_->backward(dk));
+    axpy(dx, 1.0F, wv_->backward(dv));
+    return dx;
+}
+
+Tensor
+MultiHeadAttention::forwardCached(const Tensor &x, KvCache &cache)
+{
+    require(x.rank() == 2 && x.dim(1) == dModel_,
+            "MultiHeadAttention::forwardCached: bad input");
+    const int64_t n = x.dim(0);
+    const int64_t start = cache.len;
+    require(start + n <= cache.k.dim(0),
+            strCat("MultiHeadAttention::forwardCached: cache overflow (",
+                   start + n, " > ", cache.k.dim(0), ")"));
+
+    Tensor q = wq_->forward(x);
+    Tensor k = wk_->forward(x);
+    Tensor v = wv_->forward(x);
+    applyRope(q, start, false, nHeads_);
+    applyRope(k, start, false, kvHeads_);
+
+    // Append to the cache (rows are kvDim wide under GQA).
+    for (int64_t i = 0; i < n; ++i) {
+        float *kdst = cache.k.data() + (start + i) * kvDim_;
+        float *vdst = cache.v.data() + (start + i) * kvDim_;
+        const float *ksrc = k.data() + i * kvDim_;
+        const float *vsrc = v.data() + i * kvDim_;
+        for (int64_t j = 0; j < kvDim_; ++j) {
+            kdst[j] = ksrc[j];
+            vdst[j] = vsrc[j];
+        }
+    }
+    cache.len = start + n;
+
+    const float invSqrt = 1.0F / std::sqrt(static_cast<float>(headDim_));
+    Tensor ctx({n, dModel_});
+    std::vector<float> scores(static_cast<size_t>(cache.len));
+    const int64_t group = nHeads_ / kvHeads_;
+    for (int64_t h = 0; h < nHeads_; ++h) {
+        const int64_t kvh = h / group;
+        for (int64_t i = 0; i < n; ++i) {
+            const int64_t absPos = start + i;
+            const int64_t limit = causal_ ? absPos + 1 : cache.len;
+            const float *qrow = q.data() + i * dModel_ + h * headDim_;
+            float mx = -std::numeric_limits<float>::infinity();
+            for (int64_t j = 0; j < limit; ++j) {
+                const float *krow =
+                    cache.k.data() + j * kvDim_ + kvh * headDim_;
+                float s = 0.0F;
+                for (int64_t d = 0; d < headDim_; ++d)
+                    s += qrow[d] * krow[d];
+                s *= invSqrt;
+                scores[static_cast<size_t>(j)] = s;
+                mx = std::max(mx, s);
+            }
+            float sum = 0.0F;
+            for (int64_t j = 0; j < limit; ++j) {
+                scores[static_cast<size_t>(j)] =
+                    std::exp(scores[static_cast<size_t>(j)] - mx);
+                sum += scores[static_cast<size_t>(j)];
+            }
+            const float inv = 1.0F / sum;
+            float *crow = ctx.data() + i * dModel_ + h * headDim_;
+            for (int64_t j = 0; j < limit; ++j) {
+                const float p = scores[static_cast<size_t>(j)] * inv;
+                const float *vrow =
+                    cache.v.data() + j * kvDim_ + kvh * headDim_;
+                for (int64_t d = 0; d < headDim_; ++d)
+                    crow[d] += p * vrow[d];
+            }
+        }
+    }
+    return wso_->forward(ctx);
+}
+
+Linear &
+MultiHeadAttention::linear(WeightKind kind)
+{
+    switch (kind) {
+      case WeightKind::Query: return *wq_;
+      case WeightKind::Key: return *wk_;
+      case WeightKind::Value: return *wv_;
+      case WeightKind::SelfOutput: return *wso_;
+      default:
+        panic("MultiHeadAttention::linear: not an attention tensor");
+    }
+}
+
+std::vector<Parameter *>
+MultiHeadAttention::parameters()
+{
+    std::vector<Parameter *> ps;
+    for (Linear *l : {wq_.get(), wk_.get(), wv_.get(), wso_.get()})
+        for (Parameter *p : l->parameters())
+            ps.push_back(p);
+    return ps;
+}
+
+int64_t
+MultiHeadAttention::paramCount() const
+{
+    return wq_->paramCount() + wk_->paramCount() + wv_->paramCount()
+           + wso_->paramCount();
+}
+
+void
+MultiHeadAttention::clearCache()
+{
+    cachedQ_ = Tensor();
+    cachedK_ = Tensor();
+    cachedV_ = Tensor();
+    cachedProbs_ = Tensor();
+    for (Linear *l : {wq_.get(), wk_.get(), wv_.get(), wso_.get()})
+        l->clearCache();
+}
+
+} // namespace lrd

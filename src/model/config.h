@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Model architecture configuration and the per-layer weight-tensor
+ * taxonomy from Figure 4 of the paper.
+ *
+ * Two architecture families are supported, mirroring the paper:
+ *  - LlamaStyle: decoder-only, pre-RMSNorm, RoPE, SwiGLU MLP;
+ *    7 decomposable tensors per layer (Wq, Wk, Wv, Wso, Wg, Wu, Wd).
+ *  - BertStyle: encoder-only, post-LayerNorm, learned positions, GELU
+ *    MLP; 6 decomposable tensors per layer (Wq, Wk, Wv, Wso, Wint,
+ *    Wout).
+ *
+ * Besides the trainable "tiny" presets, shape-only presets encode the
+ * exact dimensions of BERT-Base/Large and Llama2-7B/70B for the
+ * analytical studies (Tables 1 and 2, Figures 10-12).
+ */
+
+#ifndef LRD_MODEL_CONFIG_H
+#define LRD_MODEL_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lrd {
+
+/** Architecture family. */
+enum class Arch { LlamaStyle, BertStyle };
+
+/** Per-layer decomposable weight tensors (paper Figure 4). */
+enum class WeightKind {
+    Query,      ///< W_Q
+    Key,        ///< W_K
+    Value,      ///< W_V
+    SelfOutput, ///< W_SO (attention output projection)
+    Gate,       ///< W_G (Llama MLP gate projection)
+    Up,         ///< W_U (Llama MLP up projection)
+    Down,       ///< W_D (Llama MLP down projection)
+    Intermediate, ///< W_Int (BERT intermediate FC)
+    Output,       ///< W_Out (BERT output FC)
+};
+
+/** Short name used in tables ("Wq", "Wint", ...). */
+std::string weightKindName(WeightKind kind);
+
+/** The decomposable tensor kinds for an architecture, in paper order. */
+std::vector<WeightKind> decomposableKinds(Arch arch);
+
+/** Architecture + dimensions of a transformer model. */
+struct ModelConfig
+{
+    std::string name = "unnamed";
+    Arch arch = Arch::LlamaStyle;
+    int64_t vocabSize = 0;
+    int64_t dModel = 0;
+    int64_t nLayers = 0;
+    int64_t nHeads = 0;
+    /** Key/value heads for grouped-query attention; 0 means MHA
+     *  (nKvHeads == nHeads). Llama2-70B uses 8. */
+    int64_t nKvHeads = 0;
+    int64_t dFf = 0;     ///< MLP hidden width.
+    int64_t maxSeq = 0;  ///< Maximum sequence length.
+
+    int64_t headDim() const { return dModel / nHeads; }
+    int64_t kvHeads() const { return nKvHeads > 0 ? nKvHeads : nHeads; }
+    /** Width of the K/V projections (= dModel under plain MHA). */
+    int64_t kvDim() const { return kvHeads() * headDim(); }
+    bool causal() const { return arch == Arch::LlamaStyle; }
+
+    /** Number of decomposable tensors per layer (paper Table 2). */
+    int64_t numDecomposableTensors() const;
+
+    /** Shape (rows=out, cols=in) of a per-layer weight tensor.
+     *  @throws via fatal() when `kind` does not exist in this arch. */
+    std::vector<int64_t> weightShape(WeightKind kind) const;
+
+    /** Parameters in one layer's decomposable tensors. */
+    int64_t layerDecomposableParams() const;
+
+    /** Total parameters (embeddings + layers + head + norms). */
+    int64_t totalParams() const;
+
+    /** Parameters in all decomposable tensors across all layers. */
+    int64_t allDecomposableParams() const;
+
+    /** Sanity-check dimensions; calls fatal() on violation. */
+    void validate() const;
+};
+
+/** @name Presets
+ *  Trainable tiny models plus exact shape-only configs of the models
+ *  the paper studies.
+ *  @{
+ */
+/** Trainable decoder used for all accuracy case studies (8 layers). */
+ModelConfig tinyLlamaConfig();
+/** Trainable encoder used for the BERT panels. */
+ModelConfig tinyBertConfig();
+/** Even smaller config for unit tests. */
+ModelConfig testLlamaConfig();
+ModelConfig testBertConfig();
+/** Shape-only configs with the real published dimensions. */
+ModelConfig llama2_7bConfig();
+ModelConfig llama2_70bConfig();
+ModelConfig bertBaseConfig();
+ModelConfig bertLargeConfig();
+/** @} */
+
+} // namespace lrd
+
+#endif // LRD_MODEL_CONFIG_H

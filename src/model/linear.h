@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Fully-connected layer supporting both dense weights and the paper's
+ * three-factor Tucker form.
+ *
+ * Dense:      y = x W^T (+ b),        W of shape (out, in).
+ * Factorized: W approx= U1 * core * U2 with U1 (out, pr),
+ *             core (pr, pr), U2 (pr, in); the forward pass chains
+ *             three small matmuls, which is exactly how the paper's
+ *             decomposed fully-connected layers execute (Section 2.3).
+ *
+ * Both paths implement backward() so the accuracy-recovery fine-tuning
+ * extension (paper Section 6) can train through factorized layers.
+ */
+
+#ifndef LRD_MODEL_LINEAR_H
+#define LRD_MODEL_LINEAR_H
+
+#include <vector>
+
+#include "model/parameter.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace lrd {
+
+/** Dense-or-factorized linear layer with manual backprop. */
+class Linear
+{
+  public:
+    /**
+     * @param outDim Output features.
+     * @param inDim  Input features.
+     * @param hasBias Whether to include a bias vector.
+     * @param name   Parameter-name prefix for optimizers/serialization.
+     * @param rng    Initialization stream (scaled normal init).
+     */
+    Linear(int64_t outDim, int64_t inDim, bool hasBias,
+           const std::string &name, Rng &rng);
+
+    /** Forward pass for x of shape (n, in); caches x for backward. */
+    Tensor forward(const Tensor &x);
+
+    /**
+     * Backward pass. Accumulates weight gradients and returns dL/dx.
+     * Must be preceded by forward() on the same input.
+     */
+    Tensor backward(const Tensor &dy);
+
+    /**
+     * Replace the dense weight by its rank-pruned Tucker factors.
+     * @param prunedRank Pruned rank in [1, min(out, in)].
+     */
+    void factorize(int64_t prunedRank);
+
+    /**
+     * Activation-aware factorization (ASVD-style): decompose
+     * W * diag(colScale) and fold diag(1/colScale) back into U2, so
+     * the truncation error is weighted by how strongly each input
+     * feature is actually driven at inference time.
+     * @param colScale Positive per-input-feature scales (size in).
+     */
+    void factorizeActivationAware(int64_t prunedRank,
+                                  const std::vector<float> &colScale);
+
+    /**
+     * Switch to factorized layout with zero-initialized factors of
+     * the given rank (no SVD); used when deserializing factorized
+     * checkpoints whose factor values follow.
+     */
+    void installFactorShape(int64_t prunedRank);
+
+    /** Contract the factors back into a dense weight. */
+    void densify();
+
+    bool isFactorized() const { return factorized_; }
+    int64_t outDim() const { return outDim_; }
+    int64_t inDim() const { return inDim_; }
+    int64_t prunedRank() const { return prunedRank_; }
+
+    /** Current parameter count (changes when factorized). */
+    int64_t paramCount() const;
+
+    /** Live parameters (dense: W[,b]; factorized: U1, core, U2[,b]). */
+    std::vector<Parameter *> parameters();
+
+    /** Dense weight accessor; fatal() when factorized. */
+    Parameter &weight();
+    const Parameter &weight() const;
+
+    /** Effective dense weight: W, or U1*core*U2 when factorized. */
+    Tensor effectiveWeight() const;
+
+    /** Input of the most recent forward() (activation calibration). */
+    const Tensor &lastInput() const { return cachedX_; }
+
+    /** Reset the cached forward input (frees activation memory). */
+    void clearCache();
+
+  private:
+    int64_t outDim_;
+    int64_t inDim_;
+    bool hasBias_;
+    bool factorized_ = false;
+    int64_t prunedRank_ = 0;
+
+    Parameter w_;    ///< Dense (out, in); empty when factorized.
+    Parameter u1_;   ///< (out, pr).
+    Parameter core_; ///< (pr, pr).
+    Parameter u2_;   ///< (pr, in).
+    Parameter b_;    ///< (out), optional.
+
+    // Forward caches for backward.
+    Tensor cachedX_;
+    Tensor cachedT1_; ///< x * U2^T.
+    Tensor cachedT2_; ///< t1 * core^T.
+};
+
+} // namespace lrd
+
+#endif // LRD_MODEL_LINEAR_H

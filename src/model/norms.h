@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Normalization layers: RMSNorm (Llama-style) and LayerNorm
+ * (BERT-style), each with forward and manual backward passes.
+ */
+
+#ifndef LRD_MODEL_NORMS_H
+#define LRD_MODEL_NORMS_H
+
+#include <string>
+#include <vector>
+
+#include "model/parameter.h"
+#include "tensor/tensor.h"
+
+namespace lrd {
+
+/** Root-mean-square normalization with learned scale (no bias). */
+class RmsNorm
+{
+  public:
+    RmsNorm(int64_t dim, const std::string &name);
+
+    /** x of shape (n, dim) -> same shape. */
+    Tensor forward(const Tensor &x);
+    Tensor backward(const Tensor &dy);
+
+    std::vector<Parameter *> parameters() { return {&w_}; }
+    void clearCache();
+
+  private:
+    int64_t dim_;
+    Parameter w_;
+    Tensor cachedX_;
+    std::vector<float> cachedInvRms_;
+    static constexpr float kEps = 1e-5F;
+};
+
+/** Standard LayerNorm with learned scale and bias. */
+class LayerNorm
+{
+  public:
+    LayerNorm(int64_t dim, const std::string &name);
+
+    /** x of shape (n, dim) -> same shape. */
+    Tensor forward(const Tensor &x);
+    Tensor backward(const Tensor &dy);
+
+    std::vector<Parameter *> parameters() { return {&w_, &b_}; }
+    void clearCache();
+
+  private:
+    int64_t dim_;
+    Parameter w_;
+    Parameter b_;
+    Tensor cachedXhat_;
+    std::vector<float> cachedInvStd_;
+    static constexpr float kEps = 1e-5F;
+};
+
+} // namespace lrd
+
+#endif // LRD_MODEL_NORMS_H

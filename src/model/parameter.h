@@ -1,0 +1,34 @@
+/**
+ * @file
+ * A trainable parameter: value plus accumulated gradient.
+ */
+
+#ifndef LRD_MODEL_PARAMETER_H
+#define LRD_MODEL_PARAMETER_H
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace lrd {
+
+/** A named trainable tensor with its gradient accumulator. */
+struct Parameter
+{
+    Parameter() = default;
+    Parameter(std::string n, Tensor v)
+        : name(std::move(n)), value(std::move(v)), grad(value.shape())
+    {
+    }
+
+    std::string name;
+    Tensor value;
+    Tensor grad;
+
+    void zeroGrad() { grad.fill(0.0F); }
+    int64_t size() const { return value.size(); }
+};
+
+} // namespace lrd
+
+#endif // LRD_MODEL_PARAMETER_H

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The full transformer: embedding, a stack of blocks, final norm and
+ * LM head. Provides training (forward + cross-entropy + backward),
+ * full-sequence inference, KV-cache incremental inference, Tucker
+ * decomposition of any (layer, tensor) pair, and serialization.
+ */
+
+#ifndef LRD_MODEL_TRANSFORMER_H
+#define LRD_MODEL_TRANSFORMER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/attention.h"
+#include "model/config.h"
+#include "model/embedding.h"
+#include "model/mlp.h"
+#include "model/norms.h"
+
+namespace lrd {
+
+/**
+ * One encoder/decoder layer. LlamaStyle uses pre-RMSNorm residual
+ * blocks; BertStyle uses post-LayerNorm residual blocks.
+ */
+class TransformerBlock
+{
+  public:
+    TransformerBlock(const ModelConfig &cfg, int64_t layerIdx, Rng &rng);
+
+    Tensor forward(const Tensor &x);
+    Tensor backward(const Tensor &dy);
+    /** Incremental decode step (LlamaStyle only). */
+    Tensor forwardCached(const Tensor &x, KvCache &cache);
+
+    /** Access any decomposable tensor of this layer by kind. */
+    Linear &linear(WeightKind kind);
+
+    std::vector<Parameter *> parameters();
+    int64_t paramCount() const;
+    void clearCache();
+
+  private:
+    Arch arch_;
+    std::unique_ptr<RmsNorm> rms1_, rms2_;
+    std::unique_ptr<LayerNorm> ln1_, ln2_;
+    std::unique_ptr<MultiHeadAttention> attn_;
+    std::unique_ptr<Mlp> mlp_;
+};
+
+/** A complete decoder-only (Llama-style) or encoder-only (BERT-style)
+ *  transformer language model. */
+class TransformerModel
+{
+  public:
+    explicit TransformerModel(const ModelConfig &cfg, uint64_t seed = 1234);
+
+    const ModelConfig &config() const { return cfg_; }
+
+    /** Full-sequence forward; returns logits (T, vocab). */
+    Tensor forward(const TokenSeq &tokens);
+
+    /**
+     * Forward + mean cross-entropy over positions with target >= 0 +
+     * full backward (gradients accumulate into parameters).
+     *
+     * For causal LM training pass targets[i] = tokens[i + 1]; for MLM
+     * pass the original token at masked positions and -1 elsewhere.
+     * @return Mean loss over supervised positions.
+     */
+    double lossAndGrad(const TokenSeq &tokens,
+                       const std::vector<int> &targets);
+
+    /** Forward-only mean cross-entropy (no gradients). */
+    double loss(const TokenSeq &tokens, const std::vector<int> &targets);
+
+    /** All trainable parameters (changes after factorization). */
+    std::vector<Parameter *> parameters();
+
+    /** Zero every parameter gradient. */
+    void zeroGrad();
+
+    /** Access a decomposable weight tensor. */
+    Linear &linear(int64_t layer, WeightKind kind);
+
+    /**
+     * Factorize one weight with the given pruned rank (the paper's
+     * per-tensor decomposition step).
+     */
+    void applyTucker(int64_t layer, WeightKind kind, int64_t prunedRank);
+
+    /** Live parameter count (drops after decomposition). */
+    int64_t paramCount() const;
+
+    int64_t numLayers() const
+    {
+        return static_cast<int64_t>(blocks_.size());
+    }
+    TransformerBlock &block(int64_t i) { return *blocks_[static_cast<size_t>(i)]; }
+
+    /**
+     * Serialize weights (v2 format). Factorized layers are stored as
+     * their Tucker factors plus a manifest, so compressed checkpoints
+     * round-trip at their compressed size.
+     */
+    std::vector<uint8_t> serialize() const;
+    /** Restore a model saved by serialize() (reads v1 and v2). */
+    static TransformerModel deserialize(const std::vector<uint8_t> &bytes);
+
+    /** Drop all cached activations. */
+    void clearCache();
+
+    /** Whether any linear layer is factorized. */
+    bool anyFactorized() const;
+
+  private:
+    friend class InferenceSession;
+
+    ModelConfig cfg_;
+    std::unique_ptr<Embedding> embedding_;
+    std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+    std::unique_ptr<RmsNorm> finalNorm_;
+    std::unique_ptr<Linear> lmHead_;
+};
+
+/**
+ * KV-cache incremental decoding session over a LlamaStyle model.
+ * Sessions are cheaply copyable, which the evaluator uses to score
+ * multiple choices against a shared context prefix.
+ */
+class InferenceSession
+{
+  public:
+    explicit InferenceSession(TransformerModel &model);
+
+    /** Clear the caches; the session restarts at position 0. */
+    void reset();
+
+    /**
+     * Feed tokens and return the logits row of the last fed token
+     * (shape (vocab)).
+     */
+    Tensor append(const TokenSeq &tokens);
+
+    /** Number of tokens consumed so far. */
+    int64_t length() const { return caches_.empty() ? 0 : caches_[0].len; }
+
+  private:
+    TransformerModel *model_;
+    std::vector<KvCache> caches_;
+};
+
+/** Sum of log-probabilities of `continuation` given `context`. */
+double scoreContinuation(TransformerModel &model, const TokenSeq &context,
+                         const TokenSeq &continuation);
+
+/**
+ * Greedy decoding: feed `prompt`, then repeatedly append the argmax
+ * token until `maxNew` tokens are emitted or `stopToken` appears
+ * (the stop token is not included in the result).
+ */
+TokenSeq greedyGenerate(TransformerModel &model, const TokenSeq &prompt,
+                        int maxNew, int stopToken);
+
+} // namespace lrd
+
+#endif // LRD_MODEL_TRANSFORMER_H

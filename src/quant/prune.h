@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Magnitude (unstructured sparsity) pruning baseline — the other
+ * compression family the paper contrasts with low-rank decomposition.
+ *
+ * Pruning is simulated by zeroing the smallest-magnitude weights in
+ * place; model size is accounted as an ideal sparse format
+ * (values + per-nonzero column index + row pointers).
+ */
+
+#ifndef LRD_QUANT_PRUNE_H
+#define LRD_QUANT_PRUNE_H
+
+#include "model/transformer.h"
+#include "tensor/tensor.h"
+
+namespace lrd {
+
+/** Zero the `sparsity` fraction of smallest-|w| entries of a matrix. */
+Tensor magnitudePrune(const Tensor &w, double sparsity);
+
+/** Fraction of exactly-zero entries. */
+double sparsityOf(const Tensor &w);
+
+/**
+ * Magnitude-prune every decomposable weight tensor of the model in
+ * place to the given sparsity.
+ */
+void applyMagnitudePruning(TransformerModel &model, double sparsity);
+
+/**
+ * Bytes of a (rows x cols) matrix at the given sparsity in an ideal
+ * CSR-style format: FP16 value + 16-bit column index per nonzero,
+ * plus 32-bit row pointers.
+ */
+int64_t sparseMatrixBytes(int64_t rows, int64_t cols, double sparsity);
+
+/** Model bytes with decomposable tensors stored sparse. */
+int64_t prunedModelBytes(const ModelConfig &cfg, double sparsity,
+                         int bytesPerParam = 2);
+
+} // namespace lrd
+
+#endif // LRD_QUANT_PRUNE_H

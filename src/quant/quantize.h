@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Weight quantization baseline (the compression technique the paper
+ * positions low-rank decomposition against).
+ *
+ * Per-row symmetric linear quantization to b bits. For accuracy
+ * studies the quantization is *simulated* (quantize-dequantize in
+ * place — "fake quant"), which exercises exactly the numerical error
+ * real quantized inference sees while reusing the FP32 engine; model
+ * size is accounted analytically.
+ */
+
+#ifndef LRD_QUANT_QUANTIZE_H
+#define LRD_QUANT_QUANTIZE_H
+
+#include "model/transformer.h"
+#include "tensor/tensor.h"
+
+namespace lrd {
+
+/** A per-row symmetrically quantized matrix. */
+struct QuantizedTensor
+{
+    int bits = 8;
+    int64_t rows = 0;
+    int64_t cols = 0;
+    std::vector<int32_t> q;   ///< Quantized codes, row-major.
+    std::vector<float> scale; ///< Per-row scale (dequant = q * scale).
+
+    /** Storage bytes of the quantized form (codes + FP16 scales). */
+    int64_t storageBytes() const;
+};
+
+/**
+ * Quantize a matrix per-row to `bits` (2..8) symmetric levels.
+ */
+QuantizedTensor quantizeWeight(const Tensor &w, int bits);
+
+/** Reconstruct the dense matrix from its quantized form. */
+Tensor dequantizeWeight(const QuantizedTensor &q);
+
+/** Quantize-dequantize round trip (the simulation primitive). */
+Tensor fakeQuantize(const Tensor &w, int bits);
+
+/**
+ * Simulate quantizing every decomposable weight tensor of the model
+ * to `bits` bits (in place). Norms, embeddings and the LM head are
+ * left in full precision, mirroring common weight-only PTQ.
+ */
+void applyFakeQuantization(TransformerModel &model, int bits);
+
+/**
+ * Model bytes when decomposable tensors are stored at `bits` bits
+ * (plus per-row FP16 scales) and the rest at bytesPerParam.
+ */
+int64_t quantizedModelBytes(const ModelConfig &cfg, int bits,
+                            int bytesPerParam = 2);
+
+} // namespace lrd
+
+#endif // LRD_QUANT_QUANTIZE_H

@@ -1,0 +1,331 @@
+#include "ops.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace lrd {
+
+namespace {
+
+void
+checkSameShape(const Tensor &a, const Tensor &b, const char *what)
+{
+    require(a.shape() == b.shape(),
+            strCat(what, ": shape mismatch ", shapeToString(a.shape()),
+                   " vs ", shapeToString(b.shape())));
+}
+
+void
+checkMatrix(const Tensor &a, const char *what)
+{
+    require(a.rank() == 2,
+            strCat(what, ": expected rank-2 tensor, got ",
+                   shapeToString(a.shape())));
+}
+
+} // namespace
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "add");
+    Tensor c = a;
+    float *cd = c.data();
+    const float *bd = b.data();
+    for (int64_t i = 0; i < c.size(); ++i)
+        cd[i] += bd[i];
+    return c;
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "sub");
+    Tensor c = a;
+    float *cd = c.data();
+    const float *bd = b.data();
+    for (int64_t i = 0; i < c.size(); ++i)
+        cd[i] -= bd[i];
+    return c;
+}
+
+Tensor
+hadamard(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "hadamard");
+    Tensor c = a;
+    float *cd = c.data();
+    const float *bd = b.data();
+    for (int64_t i = 0; i < c.size(); ++i)
+        cd[i] *= bd[i];
+    return c;
+}
+
+Tensor
+scale(const Tensor &a, float s)
+{
+    Tensor c = a;
+    for (float *p = c.data(), *e = p + c.size(); p != e; ++p)
+        *p *= s;
+    return c;
+}
+
+void
+axpy(Tensor &a, float s, const Tensor &b)
+{
+    checkSameShape(a, b, "axpy");
+    float *ad = a.data();
+    const float *bd = b.data();
+    for (int64_t i = 0; i < a.size(); ++i)
+        ad[i] += s * bd[i];
+}
+
+void
+gemm(const float *a, const float *b, float *c, int64_t m, int64_t k,
+     int64_t n, bool accumulate)
+{
+    if (!accumulate) {
+        for (int64_t i = 0; i < m * n; ++i)
+            c[i] = 0.0F;
+    }
+    // i-k-j loop order: unit-stride access of b and c rows vectorizes.
+    for (int64_t i = 0; i < m; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        for (int64_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0F)
+                continue;
+            const float *brow = b + p * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+gemmTransB(const float *a, const float *b, float *c, int64_t m, int64_t k,
+           int64_t n, bool accumulate)
+{
+    // c[i][j] = sum_p a[i][p] * b[j][p]; dot products over contiguous rows.
+    for (int64_t i = 0; i < m; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        for (int64_t j = 0; j < n; ++j) {
+            const float *brow = b + j * k;
+            float acc = 0.0F;
+            for (int64_t p = 0; p < k; ++p)
+                acc += arow[p] * brow[p];
+            crow[j] = accumulate ? crow[j] + acc : acc;
+        }
+    }
+}
+
+void
+gemmTransA(const float *a, const float *b, float *c, int64_t m, int64_t k,
+           int64_t n, bool accumulate)
+{
+    // c (k x n) = sum_i a[i][:]^T outer b[i][:].
+    if (!accumulate) {
+        for (int64_t i = 0; i < k * n; ++i)
+            c[i] = 0.0F;
+    }
+    for (int64_t i = 0; i < m; ++i) {
+        const float *arow = a + i * k;
+        const float *brow = b + i * n;
+        for (int64_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0F)
+                continue;
+            float *crow = c + p * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    checkMatrix(a, "matmul");
+    checkMatrix(b, "matmul");
+    require(a.dim(1) == b.dim(0),
+            strCat("matmul: inner dims differ: ", shapeToString(a.shape()),
+                   " x ", shapeToString(b.shape())));
+    Tensor c({a.dim(0), b.dim(1)});
+    gemm(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(1));
+    return c;
+}
+
+Tensor
+matmulTransB(const Tensor &a, const Tensor &b)
+{
+    checkMatrix(a, "matmulTransB");
+    checkMatrix(b, "matmulTransB");
+    require(a.dim(1) == b.dim(1),
+            strCat("matmulTransB: inner dims differ: ",
+                   shapeToString(a.shape()), " x ",
+                   shapeToString(b.shape()), "^T"));
+    Tensor c({a.dim(0), b.dim(0)});
+    gemmTransB(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(0));
+    return c;
+}
+
+Tensor
+matmulTransA(const Tensor &a, const Tensor &b)
+{
+    checkMatrix(a, "matmulTransA");
+    checkMatrix(b, "matmulTransA");
+    require(a.dim(0) == b.dim(0),
+            strCat("matmulTransA: inner dims differ: ",
+                   shapeToString(a.shape()), "^T x ",
+                   shapeToString(b.shape())));
+    Tensor c({a.dim(1), b.dim(1)});
+    gemmTransA(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(1));
+    return c;
+}
+
+Tensor
+transpose2d(const Tensor &a)
+{
+    checkMatrix(a, "transpose2d");
+    const int64_t m = a.dim(0), n = a.dim(1);
+    Tensor t({n, m});
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < n; ++j)
+            t(j, i) = a(i, j);
+    return t;
+}
+
+Tensor
+matvec(const Tensor &a, const Tensor &x)
+{
+    checkMatrix(a, "matvec");
+    require(x.rank() == 1 && x.dim(0) == a.dim(1),
+            strCat("matvec: vector shape ", shapeToString(x.shape()),
+                   " incompatible with matrix ", shapeToString(a.shape())));
+    Tensor y({a.dim(0)});
+    const int64_t m = a.dim(0), n = a.dim(1);
+    const float *ad = a.data();
+    const float *xd = x.data();
+    for (int64_t i = 0; i < m; ++i) {
+        float acc = 0.0F;
+        const float *row = ad + i * n;
+        for (int64_t j = 0; j < n; ++j)
+            acc += row[j] * xd[j];
+        y[i] = acc;
+    }
+    return y;
+}
+
+Tensor
+relu(const Tensor &a)
+{
+    Tensor c = a;
+    for (float *p = c.data(), *e = p + c.size(); p != e; ++p)
+        *p = *p > 0.0F ? *p : 0.0F;
+    return c;
+}
+
+Tensor
+gelu(const Tensor &a)
+{
+    Tensor c = a;
+    constexpr float kSqrt2OverPi = 0.7978845608028654F;
+    for (float *p = c.data(), *e = p + c.size(); p != e; ++p) {
+        const float x = *p;
+        const float inner = kSqrt2OverPi * (x + 0.044715F * x * x * x);
+        *p = 0.5F * x * (1.0F + std::tanh(inner));
+    }
+    return c;
+}
+
+Tensor
+silu(const Tensor &a)
+{
+    Tensor c = a;
+    for (float *p = c.data(), *e = p + c.size(); p != e; ++p) {
+        const float x = *p;
+        *p = x / (1.0F + std::exp(-x));
+    }
+    return c;
+}
+
+Tensor
+softmaxLastDim(const Tensor &a)
+{
+    require(a.rank() >= 1, "softmaxLastDim: rank must be >= 1");
+    Tensor c = a;
+    const int64_t cols = a.dim(a.rank() - 1);
+    const int64_t rows = a.size() / cols;
+    for (int64_t r = 0; r < rows; ++r) {
+        float *row = c.data() + r * cols;
+        float mx = row[0];
+        for (int64_t j = 1; j < cols; ++j)
+            mx = std::max(mx, row[j]);
+        float sum = 0.0F;
+        for (int64_t j = 0; j < cols; ++j) {
+            row[j] = std::exp(row[j] - mx);
+            sum += row[j];
+        }
+        const float inv = 1.0F / sum;
+        for (int64_t j = 0; j < cols; ++j)
+            row[j] *= inv;
+    }
+    return c;
+}
+
+Tensor
+logSoftmaxLastDim(const Tensor &a)
+{
+    require(a.rank() >= 1, "logSoftmaxLastDim: rank must be >= 1");
+    Tensor c = a;
+    const int64_t cols = a.dim(a.rank() - 1);
+    const int64_t rows = a.size() / cols;
+    for (int64_t r = 0; r < rows; ++r) {
+        float *row = c.data() + r * cols;
+        float mx = row[0];
+        for (int64_t j = 1; j < cols; ++j)
+            mx = std::max(mx, row[j]);
+        double sum = 0.0;
+        for (int64_t j = 0; j < cols; ++j)
+            sum += std::exp(static_cast<double>(row[j] - mx));
+        const float lse = mx + static_cast<float>(std::log(sum));
+        for (int64_t j = 0; j < cols; ++j)
+            row[j] -= lse;
+    }
+    return c;
+}
+
+double
+relativeError(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "relativeError");
+    double num = 0.0, den = 0.0;
+    const float *ad = a.data();
+    const float *bd = b.data();
+    for (int64_t i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(ad[i]) - bd[i];
+        num += d * d;
+        den += static_cast<double>(ad[i]) * ad[i];
+    }
+    if (den == 0.0)
+        return num == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    return std::sqrt(num / den);
+}
+
+double
+dot(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "dot");
+    double s = 0.0;
+    const float *ad = a.data();
+    const float *bd = b.data();
+    for (int64_t i = 0; i < a.size(); ++i)
+        s += static_cast<double>(ad[i]) * bd[i];
+    return s;
+}
+
+} // namespace lrd

@@ -1,0 +1,213 @@
+#include "tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace lrd {
+
+std::string
+shapeToString(const Shape &shape)
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (size_t i = 0; i < shape.size(); ++i) {
+        if (i)
+            oss << ", ";
+        oss << shape[i];
+    }
+    oss << "]";
+    return oss.str();
+}
+
+int64_t
+numElements(const Shape &shape)
+{
+    int64_t n = 1;
+    for (int64_t d : shape) {
+        if (d < 0)
+            fatal("numElements: negative extent in " + shapeToString(shape));
+        n *= d;
+    }
+    return n;
+}
+
+Tensor::Tensor() : shape_(), data_(1, 0.0F) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(numElements(shape_)), 0.0F)
+{
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data))
+{
+    require(static_cast<int64_t>(data_.size()) == numElements(shape_),
+            strCat("Tensor: data size ", data_.size(), " != shape ",
+                   shapeToString(shape_)));
+}
+
+Tensor
+Tensor::zeros(Shape shape)
+{
+    return Tensor(std::move(shape));
+}
+
+Tensor
+Tensor::ones(Shape shape)
+{
+    return full(std::move(shape), 1.0F);
+}
+
+Tensor
+Tensor::full(Shape shape, float value)
+{
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+Tensor
+Tensor::eye(int64_t n)
+{
+    require(n > 0, "Tensor::eye: n must be positive");
+    Tensor t({n, n});
+    for (int64_t i = 0; i < n; ++i)
+        t(i, i) = 1.0F;
+    return t;
+}
+
+Tensor
+Tensor::randn(Shape shape, Rng &rng, float stddev)
+{
+    Tensor t(std::move(shape));
+    for (auto &v : t.data_)
+        v = static_cast<float>(rng.normal(0.0, stddev));
+    return t;
+}
+
+Tensor
+Tensor::randu(Shape shape, Rng &rng, float lo, float hi)
+{
+    Tensor t(std::move(shape));
+    for (auto &v : t.data_)
+        v = rng.uniform(lo, hi);
+    return t;
+}
+
+int64_t
+Tensor::dim(int64_t i) const
+{
+    require(i >= 0 && i < rank(),
+            strCat("Tensor::dim: mode ", i, " out of range for rank ",
+                   rank()));
+    return shape_[static_cast<size_t>(i)];
+}
+
+int64_t
+Tensor::offsetOf(const std::vector<int64_t> &index) const
+{
+    require(static_cast<int64_t>(index.size()) == rank(),
+            strCat("Tensor::offsetOf: index rank ", index.size(),
+                   " != tensor rank ", rank()));
+    int64_t off = 0;
+    for (size_t i = 0; i < index.size(); ++i) {
+        require(index[i] >= 0 && index[i] < shape_[i],
+                strCat("Tensor::offsetOf: index ", index[i],
+                       " out of bounds for mode ", i, " extent ",
+                       shape_[i]));
+        off = off * shape_[i] + index[i];
+    }
+    return off;
+}
+
+float &
+Tensor::at(const std::vector<int64_t> &index)
+{
+    return data_[static_cast<size_t>(offsetOf(index))];
+}
+
+float
+Tensor::at(const std::vector<int64_t> &index) const
+{
+    return data_[static_cast<size_t>(offsetOf(index))];
+}
+
+float &
+Tensor::operator()(int64_t i, int64_t j)
+{
+    return data_[static_cast<size_t>(i * shape_[1] + j)];
+}
+
+float
+Tensor::operator()(int64_t i, int64_t j) const
+{
+    return data_[static_cast<size_t>(i * shape_[1] + j)];
+}
+
+Tensor
+Tensor::reshaped(Shape shape) const
+{
+    require(numElements(shape) == size(),
+            strCat("Tensor::reshaped: cannot reshape ",
+                   shapeToString(shape_), " to ", shapeToString(shape)));
+    return Tensor(std::move(shape), data_);
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+bool
+Tensor::allFinite() const
+{
+    for (float v : data_)
+        if (!std::isfinite(v))
+            return false;
+    return true;
+}
+
+double
+Tensor::sum() const
+{
+    double s = 0.0;
+    for (float v : data_)
+        s += v;
+    return s;
+}
+
+double
+Tensor::norm() const
+{
+    double s = 0.0;
+    for (float v : data_)
+        s += static_cast<double>(v) * v;
+    return std::sqrt(s);
+}
+
+float
+Tensor::minValue() const
+{
+    require(!data_.empty(), "Tensor::minValue: empty tensor");
+    return *std::min_element(data_.begin(), data_.end());
+}
+
+float
+Tensor::maxValue() const
+{
+    require(!data_.empty(), "Tensor::maxValue: empty tensor");
+    return *std::max_element(data_.begin(), data_.end());
+}
+
+std::string
+Tensor::describe() const
+{
+    return strCat("Tensor", shapeToString(shape_), " (", size(), " elems)");
+}
+
+} // namespace lrd

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Dense row-major N-dimensional float tensor.
+ *
+ * This is the single numeric container used by the whole library:
+ * model weights, activations, decomposition factors, and gradients.
+ * Storage is value-semantic (owned std::vector<float>); copies are
+ * deep, moves are cheap.
+ */
+
+#ifndef LRD_TENSOR_TENSOR_H
+#define LRD_TENSOR_TENSOR_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lrd {
+
+/** Shape of a tensor: per-mode extents. */
+using Shape = std::vector<int64_t>;
+
+/** Human-readable "[a, b, c]" rendering of a shape. */
+std::string shapeToString(const Shape &shape);
+
+/** Product of extents (the element count); 1 for an empty shape. */
+int64_t numElements(const Shape &shape);
+
+/**
+ * Dense row-major N-dimensional tensor of float32.
+ *
+ * Rank-0 tensors (scalars) are permitted and hold one element.
+ * All indexing is bounds-checked in debug-style accessors (at());
+ * the raw data() pointer is available for hot loops.
+ */
+class Tensor
+{
+  public:
+    /** An empty (rank-0, single element, zero) tensor. */
+    Tensor();
+
+    /** Zero-initialized tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    /** Tensor with explicit contents; data.size() must match shape. */
+    Tensor(Shape shape, std::vector<float> data);
+
+    /** @name Factories
+     *  @{
+     */
+    static Tensor zeros(Shape shape);
+    static Tensor ones(Shape shape);
+    static Tensor full(Shape shape, float value);
+    /** Identity matrix of size n x n. */
+    static Tensor eye(int64_t n);
+    /** I.i.d. normal entries with the given std deviation. */
+    static Tensor randn(Shape shape, Rng &rng, float stddev = 1.0F);
+    /** I.i.d. uniform entries in [lo, hi). */
+    static Tensor randu(Shape shape, Rng &rng, float lo = 0.0F,
+                        float hi = 1.0F);
+    /** @} */
+
+    const Shape &shape() const { return shape_; }
+    int64_t rank() const { return static_cast<int64_t>(shape_.size()); }
+    int64_t size() const { return static_cast<int64_t>(data_.size()); }
+    /** Extent of mode i (bounds-checked). */
+    int64_t dim(int64_t i) const;
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+    std::vector<float> &storage() { return data_; }
+    const std::vector<float> &storage() const { return data_; }
+
+    /** Bounds-checked element access by multi-index. */
+    float &at(const std::vector<int64_t> &index);
+    float at(const std::vector<int64_t> &index) const;
+
+    /** Fast 2D accessors (asserts rank() == 2 in checked paths). */
+    float &operator()(int64_t i, int64_t j);
+    float operator()(int64_t i, int64_t j) const;
+
+    /** Flat element access. */
+    float &operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+    float operator[](int64_t i) const
+    {
+        return data_[static_cast<size_t>(i)];
+    }
+
+    /** Linear offset of a multi-index (row-major). */
+    int64_t offsetOf(const std::vector<int64_t> &index) const;
+
+    /**
+     * Reinterpret with a new shape of identical element count.
+     * @throws via fatal() when the element counts differ.
+     */
+    Tensor reshaped(Shape shape) const;
+
+    /** Set every element to the given value. */
+    void fill(float value);
+
+    /** True when every element is finite. */
+    bool allFinite() const;
+
+    /** Sum of all elements. */
+    double sum() const;
+
+    /** Frobenius norm (sqrt of sum of squares). */
+    double norm() const;
+
+    /** Smallest / largest element (tensor must be non-empty). */
+    float minValue() const;
+    float maxValue() const;
+
+    /** "[shape] (n elems)" debugging summary. */
+    std::string describe() const;
+
+  private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+} // namespace lrd
+
+#endif // LRD_TENSOR_TENSOR_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tensor matricization (mode-n unfolding) and mode-n products — the
+ * multilinear-algebra primitives used by Tucker decomposition
+ * (Algorithm 1 of the paper).
+ *
+ * Conventions follow Kolda & Bader, "Tensor Decompositions and
+ * Applications": the mode-n unfolding T_(n) arranges mode-n fibers as
+ * columns, producing a (I_n x prod_{m != n} I_m) matrix, and the
+ * mode-n product (T x_n M) with M of shape (J x I_n) replaces extent
+ * I_n by J.
+ */
+
+#ifndef LRD_TENSOR_UNFOLD_H
+#define LRD_TENSOR_UNFOLD_H
+
+#include "tensor/tensor.h"
+
+namespace lrd {
+
+/**
+ * Mode-n unfolding (matricization) of an arbitrary-rank tensor.
+ *
+ * @param t    Input tensor of rank >= 1.
+ * @param mode Mode index in [0, rank).
+ * @return Matrix of shape (I_mode, numel / I_mode); column index runs
+ *         over the remaining modes with the *lowest* mode fastest
+ *         (Kolda-Bader ordering).
+ */
+Tensor unfold(const Tensor &t, int64_t mode);
+
+/**
+ * Inverse of unfold(): refold a matricized tensor back to fullShape.
+ *
+ * @param m         Matrix produced by unfold(t, mode) (possibly with a
+ *                  modified leading extent).
+ * @param mode      The unfolding mode.
+ * @param fullShape Target shape; fullShape[mode] must equal m.dim(0).
+ */
+Tensor fold(const Tensor &m, int64_t mode, const Shape &fullShape);
+
+/**
+ * Mode-n product T x_mode M.
+ *
+ * @param t    Input tensor.
+ * @param m    Matrix of shape (J, I_mode).
+ * @param mode Contracted mode.
+ * @return Tensor whose mode extent becomes J.
+ */
+Tensor modeProduct(const Tensor &t, const Tensor &m, int64_t mode);
+
+} // namespace lrd
+
+#endif // LRD_TENSOR_UNFOLD_H

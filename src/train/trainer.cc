@@ -1,0 +1,121 @@
+#include "trainer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace lrd {
+
+Trainer::Trainer(TransformerModel &model, const World &world,
+                 TrainOptions opts)
+    : model_(model), world_(world), opts_(opts),
+      gen_(world, opts.seed), maskRng_(opts.seed ^ 0xABCD1234U)
+{
+    require(opts_.seqLen <= model_.config().maxSeq,
+            "Trainer: seqLen exceeds model maxSeq");
+    require(world_.vocabSize() <= model_.config().vocabSize,
+            "Trainer: world vocabulary exceeds model vocabulary");
+}
+
+void
+Trainer::makeExample(TokenSeq &tokens, std::vector<int> &targets)
+{
+    tokens = gen_.document(opts_.seqLen);
+    targets.assign(tokens.size(), -1);
+    if (model_.config().arch == Arch::LlamaStyle) {
+        // Next-token prediction.
+        for (size_t i = 0; i + 1 < tokens.size(); ++i)
+            targets[i] = tokens[i + 1];
+        return;
+    }
+    // Masked-LM: corrupt ~mlmProb of the positions. 80% <mask>,
+    // 10% random token, 10% unchanged; supervise all selected
+    // positions with the original token.
+    for (size_t i = 1; i < tokens.size(); ++i) {
+        if (!maskRng_.bernoulli(opts_.mlmProb))
+            continue;
+        targets[i] = tokens[i];
+        const double roll = maskRng_.uniform();
+        if (roll < 0.8) {
+            tokens[i] = world_.maskToken();
+        } else if (roll < 0.9) {
+            tokens[i] = static_cast<int>(maskRng_.uniformInt(
+                static_cast<uint64_t>(world_.vocabSize())));
+        }
+    }
+    // Guarantee at least one supervised position.
+    if (targets[1] < 0) {
+        targets[1] = tokens[1];
+        tokens[1] = world_.maskToken();
+    }
+}
+
+double
+Trainer::run()
+{
+    AdamOptions aopts;
+    aopts.lr = opts_.lr;
+    AdamW optimizer(model_.parameters(), aopts);
+
+    Timer timer;
+    double lastLoss = 0.0;
+    for (int step = 0; step < opts_.steps; ++step) {
+        model_.zeroGrad();
+        double lossSum = 0.0;
+        for (int b = 0; b < opts_.batchSeqs; ++b) {
+            TokenSeq tokens;
+            std::vector<int> targets;
+            makeExample(tokens, targets);
+            lossSum += model_.lossAndGrad(tokens, targets);
+        }
+        // Average the accumulated gradients over the batch.
+        for (Parameter *p : model_.parameters())
+            for (int64_t i = 0; i < p->grad.size(); ++i)
+                p->grad[i] /= static_cast<float>(opts_.batchSeqs);
+        lastLoss = lossSum / opts_.batchSeqs;
+        optimizer.step(
+            cosineSchedule(step, opts_.warmupSteps, opts_.steps));
+        if (opts_.logEvery > 0
+            && (step % opts_.logEvery == 0 || step == opts_.steps - 1)) {
+            inform(strCat("train[", model_.config().name, "] step ", step,
+                          "/", opts_.steps, " loss ", lastLoss, " (",
+                          static_cast<int>(timer.elapsedSeconds()),
+                          "s elapsed)"));
+        }
+    }
+    model_.clearCache();
+    return lastLoss;
+}
+
+double
+Trainer::evalLoss(int numDocs, uint64_t seed)
+{
+    CorpusGenerator heldOut(world_, seed);
+    double sum = 0.0;
+    for (int d = 0; d < numDocs; ++d) {
+        TokenSeq tokens = heldOut.document(opts_.seqLen);
+        std::vector<int> targets(tokens.size(), -1);
+        if (model_.config().arch == Arch::LlamaStyle) {
+            for (size_t i = 0; i + 1 < tokens.size(); ++i)
+                targets[i] = tokens[i + 1];
+        } else {
+            Rng mr(seed + static_cast<uint64_t>(d));
+            for (size_t i = 1; i < tokens.size(); ++i) {
+                if (mr.bernoulli(opts_.mlmProb)) {
+                    targets[i] = tokens[i];
+                    tokens[i] = world_.maskToken();
+                }
+            }
+            if (targets[1] < 0) {
+                targets[1] = tokens[1];
+                tokens[1] = world_.maskToken();
+            }
+        }
+        sum += model_.loss(tokens, targets);
+    }
+    model_.clearCache();
+    return sum / numDocs;
+}
+
+} // namespace lrd

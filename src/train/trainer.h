@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Training loop: causal-LM training for LlamaStyle models and
+ * masked-LM training for BertStyle models, over the synthetic corpus.
+ */
+
+#ifndef LRD_TRAIN_TRAINER_H
+#define LRD_TRAIN_TRAINER_H
+
+#include "model/transformer.h"
+#include "train/adam.h"
+#include "train/corpus.h"
+
+namespace lrd {
+
+/** Knobs for a training run. */
+struct TrainOptions
+{
+    int steps = 600;        ///< Optimizer steps.
+    int batchSeqs = 8;      ///< Sequences per step (grad accumulation).
+    int seqLen = 64;        ///< Training sequence length.
+    int warmupSteps = 40;
+    double lr = 3e-3;
+    double mlmProb = 0.15;  ///< BERT-style masking probability.
+    uint64_t seed = 31337;
+    int logEvery = 100;     ///< 0 disables progress logging.
+};
+
+/** Drives AdamW over the synthetic corpus. */
+class Trainer
+{
+  public:
+    Trainer(TransformerModel &model, const World &world, TrainOptions opts);
+
+    /** Run the configured number of steps; returns the final loss. */
+    double run();
+
+    /** Mean loss over `numDocs` held-out documents (no grads). */
+    double evalLoss(int numDocs, uint64_t seed = 555);
+
+  private:
+    /** Build (tokens, targets) for one training sequence. */
+    void makeExample(TokenSeq &tokens, std::vector<int> &targets);
+
+    TransformerModel &model_;
+    const World &world_;
+    TrainOptions opts_;
+    CorpusGenerator gen_;
+    Rng maskRng_;
+};
+
+} // namespace lrd
+
+#endif // LRD_TRAIN_TRAINER_H

@@ -1,0 +1,210 @@
+#include "world.h"
+
+#include "util/logging.h"
+
+namespace lrd {
+
+namespace {
+constexpr int kNumStructural = 11; ///< Tokens 0..10 are fixed.
+}
+
+World::World(const WorldSpec &spec) : spec_(spec)
+{
+    require(spec_.numEntities > 1 && spec_.numColors > 2
+                && spec_.numCategories > 1 && spec_.numPlaces > 1
+                && spec_.numNumbers > 4 && spec_.numVerbs > 0
+                && spec_.numPatternSymbols > 3,
+            "World: spec dimensions too small");
+
+    vocabSize_ = kNumStructural + spec_.numEntities + spec_.numColors
+                 + spec_.numCategories + spec_.numPlaces
+                 + spec_.numNumbers + spec_.numVerbs + 2 /*pronouns*/
+                 + spec_.numPatternSymbols;
+
+    Rng rng(spec_.seed);
+    colorOf_.resize(static_cast<size_t>(spec_.numEntities));
+    categoryOf_.resize(colorOf_.size());
+    placeOf_.resize(colorOf_.size());
+    genderOf_.resize(colorOf_.size());
+    mythColorOf_.resize(colorOf_.size());
+    mythDominant_.resize(colorOf_.size());
+    for (int e = 0; e < spec_.numEntities; ++e) {
+        colorOf_[static_cast<size_t>(e)] = static_cast<int>(
+            rng.uniformInt(static_cast<uint64_t>(spec_.numColors)));
+        categoryOf_[static_cast<size_t>(e)] = static_cast<int>(
+            rng.uniformInt(static_cast<uint64_t>(spec_.numCategories)));
+        placeOf_[static_cast<size_t>(e)] = static_cast<int>(
+            rng.uniformInt(static_cast<uint64_t>(spec_.numPlaces)));
+        genderOf_[static_cast<size_t>(e)] =
+            static_cast<int>(rng.uniformInt(2));
+        // Myth color: uniformly among the non-true colors.
+        int myth = static_cast<int>(
+            rng.uniformInt(static_cast<uint64_t>(spec_.numColors - 1)));
+        if (myth >= colorOf_[static_cast<size_t>(e)])
+            ++myth;
+        mythColorOf_[static_cast<size_t>(e)] = myth;
+        mythDominant_[static_cast<size_t>(e)] =
+            rng.bernoulli(spec_.mythDominanceProb);
+    }
+
+    zipfWeights_.resize(static_cast<size_t>(spec_.numEntities));
+    for (int e = 0; e < spec_.numEntities; ++e)
+        zipfWeights_[static_cast<size_t>(e)] = 1.0 / (1.0 + e);
+}
+
+int
+World::entityToken(int i) const
+{
+    require(i >= 0 && i < spec_.numEntities, "World: bad entity index");
+    return kNumStructural + i;
+}
+
+int
+World::colorToken(int i) const
+{
+    require(i >= 0 && i < spec_.numColors, "World: bad color index");
+    return kNumStructural + spec_.numEntities + i;
+}
+
+int
+World::categoryToken(int i) const
+{
+    require(i >= 0 && i < spec_.numCategories, "World: bad category index");
+    return kNumStructural + spec_.numEntities + spec_.numColors + i;
+}
+
+int
+World::placeToken(int i) const
+{
+    require(i >= 0 && i < spec_.numPlaces, "World: bad place index");
+    return kNumStructural + spec_.numEntities + spec_.numColors
+           + spec_.numCategories + i;
+}
+
+int
+World::numberToken(int n) const
+{
+    require(n >= 0 && n < spec_.numNumbers, "World: bad number");
+    return kNumStructural + spec_.numEntities + spec_.numColors
+           + spec_.numCategories + spec_.numPlaces + n;
+}
+
+int
+World::verbToken(int i) const
+{
+    require(i >= 0 && i < spec_.numVerbs, "World: bad verb index");
+    return kNumStructural + spec_.numEntities + spec_.numColors
+           + spec_.numCategories + spec_.numPlaces + spec_.numNumbers + i;
+}
+
+int
+World::pronounToken(int gender) const
+{
+    require(gender == 0 || gender == 1, "World: bad gender");
+    return kNumStructural + spec_.numEntities + spec_.numColors
+           + spec_.numCategories + spec_.numPlaces + spec_.numNumbers
+           + spec_.numVerbs + gender;
+}
+
+int
+World::patternToken(int i) const
+{
+    require(i >= 0 && i < spec_.numPatternSymbols,
+            "World: bad pattern symbol");
+    return kNumStructural + spec_.numEntities + spec_.numColors
+           + spec_.numCategories + spec_.numPlaces + spec_.numNumbers
+           + spec_.numVerbs + 2 + i;
+}
+
+int
+World::colorOf(int entity) const
+{
+    require(entity >= 0 && entity < spec_.numEntities, "World: bad entity");
+    return colorOf_[static_cast<size_t>(entity)];
+}
+
+int
+World::categoryOf(int entity) const
+{
+    require(entity >= 0 && entity < spec_.numEntities, "World: bad entity");
+    return categoryOf_[static_cast<size_t>(entity)];
+}
+
+int
+World::placeOf(int entity) const
+{
+    require(entity >= 0 && entity < spec_.numEntities, "World: bad entity");
+    return placeOf_[static_cast<size_t>(entity)];
+}
+
+int
+World::genderOf(int entity) const
+{
+    require(entity >= 0 && entity < spec_.numEntities, "World: bad entity");
+    return genderOf_[static_cast<size_t>(entity)];
+}
+
+int
+World::mythColorOf(int entity) const
+{
+    require(entity >= 0 && entity < spec_.numEntities, "World: bad entity");
+    return mythColorOf_[static_cast<size_t>(entity)];
+}
+
+bool
+World::mythDominant(int entity) const
+{
+    require(entity >= 0 && entity < spec_.numEntities, "World: bad entity");
+    return mythDominant_[static_cast<size_t>(entity)];
+}
+
+int
+World::sampleEntityZipf(Rng &rng) const
+{
+    return static_cast<int>(rng.categorical(zipfWeights_));
+}
+
+std::string
+World::tokenName(int token) const
+{
+    require(token >= 0 && token < vocabSize_, "World: token out of range");
+    switch (token) {
+      case 0: return "<pad>";
+      case 1: return "<bos>";
+      case 2: return "<sep>";
+      case 3: return "<mask>";
+      case 4: return "HAS_COLOR";
+      case 5: return "IS_A";
+      case 6: return "LIVES_IN";
+      case 7: return "PLUS";
+      case 8: return "EQUALS";
+      case 9: return "RUMOR";
+      case 10: return "BECAUSE";
+      default: break;
+    }
+    int i = token - kNumStructural;
+    if (i < spec_.numEntities)
+        return strCat("ent", i);
+    i -= spec_.numEntities;
+    if (i < spec_.numColors)
+        return strCat("color", i);
+    i -= spec_.numColors;
+    if (i < spec_.numCategories)
+        return strCat("kind", i);
+    i -= spec_.numCategories;
+    if (i < spec_.numPlaces)
+        return strCat("place", i);
+    i -= spec_.numPlaces;
+    if (i < spec_.numNumbers)
+        return strCat("num", i);
+    i -= spec_.numNumbers;
+    if (i < spec_.numVerbs)
+        return strCat("verb", i);
+    i -= spec_.numVerbs;
+    if (i < 2)
+        return i == 0 ? "he" : "she";
+    i -= 2;
+    return strCat("sym", i);
+}
+
+} // namespace lrd

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * On-disk artifact cache for expensive derived objects (trained model
+ * weights, baseline evaluation results). Keyed by a user-provided name;
+ * lives under $LRD_CACHE_DIR or <tmp>/lrd-cache by default.
+ */
+
+#ifndef LRD_UTIL_CACHE_H
+#define LRD_UTIL_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lrd {
+
+/** Directory used for cached artifacts; created on first use. */
+std::string cacheDir();
+
+/** Full path for a named cache entry. */
+std::string cachePath(const std::string &name);
+
+/** Whether a named cache entry exists. */
+bool cacheHas(const std::string &name);
+
+/** Write a raw byte blob to a named entry (atomic via rename). */
+void cacheWrite(const std::string &name, const std::vector<uint8_t> &bytes);
+
+/** Read a named entry. @throws std::runtime_error if missing. */
+std::vector<uint8_t> cacheRead(const std::string &name);
+
+/** Remove a named entry if present. */
+void cacheErase(const std::string &name);
+
+/**
+ * Binary serialization helpers used by weight (de)serialization.
+ * All values are little-endian; this library only targets one host.
+ */
+class ByteWriter
+{
+  public:
+    void putU32(uint32_t v);
+    void putU64(uint64_t v);
+    void putF32(float v);
+    void putString(const std::string &s);
+    void putFloats(const std::vector<float> &v);
+    const std::vector<uint8_t> &bytes() const { return buf_; }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+/** Cursor-based reader matching ByteWriter's format. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::vector<uint8_t> bytes);
+    uint32_t getU32();
+    uint64_t getU64();
+    float getF32();
+    std::string getString();
+    std::vector<float> getFloats();
+    bool atEnd() const { return pos_ == buf_.size(); }
+
+  private:
+    void need(size_t n) const;
+    std::vector<uint8_t> buf_;
+    size_t pos_ = 0;
+};
+
+} // namespace lrd
+
+#endif // LRD_UTIL_CACHE_H

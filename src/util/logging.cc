@@ -1,0 +1,56 @@
+#include "logging.h"
+
+#include <iostream>
+
+namespace lrd {
+
+namespace {
+LogLevel g_level = LogLevel::Info;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (g_level <= LogLevel::Info)
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+warn(const std::string &msg)
+{
+    if (g_level <= LogLevel::Warn)
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+debug(const std::string &msg)
+{
+    if (g_level <= LogLevel::Debug)
+        std::cerr << "debug: " << msg << "\n";
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw std::logic_error("panic: " + msg);
+}
+
+} // namespace lrd

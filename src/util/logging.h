@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Status / error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * - inform(): normal operating message.
+ * - warn():   something questionable but survivable.
+ * - fatal():  user error (bad configuration / arguments); throws
+ *             std::runtime_error so callers and tests can catch it.
+ * - panic():  internal invariant violation (a library bug); throws
+ *             std::logic_error.
+ */
+
+#ifndef LRD_UTIL_LOGGING_H
+#define LRD_UTIL_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lrd {
+
+/** Severity levels for log output. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/** Global minimum level actually printed (default: Info). */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** Print an informational message to stderr (when level permits). */
+void inform(const std::string &msg);
+
+/** Print a warning message to stderr (when level permits). */
+void warn(const std::string &msg);
+
+/** Print a debug message to stderr (when level permits). */
+void debug(const std::string &msg);
+
+/**
+ * Report an unrecoverable user-facing error.
+ * @throws std::runtime_error always.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Report an internal invariant violation.
+ * @throws std::logic_error always.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Require a condition; calls fatal() with the message when violated. */
+inline void
+require(bool cond, const std::string &msg)
+{
+    if (!cond)
+        fatal(msg);
+}
+
+/** Variadic stream-style message builder: strCat(1, " + ", 2.5). */
+template <typename... Args>
+std::string
+strCat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace lrd
+
+#endif // LRD_UTIL_LOGGING_H

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wall-clock timing utilities for latency measurement.
+ */
+
+#ifndef LRD_UTIL_TIMER_H
+#define LRD_UTIL_TIMER_H
+
+#include <chrono>
+
+namespace lrd {
+
+/** Monotonic wall-clock stopwatch. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or last reset(). */
+    double
+    elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed milliseconds since construction or last reset(). */
+    double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace lrd
+
+#endif // LRD_UTIL_TIMER_H

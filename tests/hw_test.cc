@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Tests for the hardware model: MAC/byte counting against published
+ * numbers (Table 1 cross-check), decomposition effects on counts,
+ * roofline properties, and the memory/energy models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dse/schedules.h"
+#include "hw/device.h"
+#include "hw/opcount.h"
+#include "hw/roofline.h"
+
+namespace lrd {
+namespace {
+
+TEST(OpCount, Resnet50MatchesPublishedScale)
+{
+    // ResNet-50: 25.5-25.6M params, ~4.1 GMACs at 224x224.
+    const double params = static_cast<double>(resnet50Params());
+    EXPECT_GT(params, 25.0e6);
+    EXPECT_LT(params, 26.2e6);
+    const double macs = static_cast<double>(resnet50Macs());
+    EXPECT_GT(macs, 3.8e9);
+    EXPECT_LT(macs, 4.4e9);
+}
+
+TEST(OpCount, BertBaseMacsMatchTable1)
+{
+    // Paper Table 1: BERT-Base at batch 1, seq 128 -> 11.2 B MACs,
+    // 219 MB FP16. Our config carries an untied LM head, so compare
+    // the encoder-layer MACs with modest tolerance.
+    const ModelConfig cfg = bertBaseConfig();
+    WorkloadParams wl;
+    wl.batch = 1;
+    wl.seqLen = 128;
+    const double macs = static_cast<double>(
+        transformerMacs(cfg, DecompConfig::identity(), wl));
+    EXPECT_GT(macs, 10.0e9);
+    EXPECT_LT(macs, 15.0e9);
+    const double bytes = static_cast<double>(
+        transformerWeightBytes(cfg, DecompConfig::identity(), 2));
+    EXPECT_GT(bytes, 200e6);
+    EXPECT_LT(bytes, 280e6);
+}
+
+TEST(OpCount, Llama7bMacsMatchTable1)
+{
+    // Paper Table 1: Llama2-7B at batch 1, seq 128 -> 850 B MACs,
+    // 13.4 GB FP16.
+    const ModelConfig cfg = llama2_7bConfig();
+    WorkloadParams wl;
+    wl.batch = 1;
+    wl.seqLen = 128;
+    const double macs = static_cast<double>(
+        transformerMacs(cfg, DecompConfig::identity(), wl));
+    EXPECT_GT(macs, 800e9);
+    EXPECT_LT(macs, 950e9);
+    const double bytes = static_cast<double>(
+        transformerWeightBytes(cfg, DecompConfig::identity(), 2));
+    EXPECT_GT(bytes, 13.0e9);
+    EXPECT_LT(bytes, 14.2e9);
+}
+
+TEST(OpCount, ComputeToModelSizeRatioOrdering)
+{
+    // Table 1's headline: the CNN has a higher compute-to-size ratio
+    // than the language models. (The paper reports 160.7 for ResNet50
+    // because its 8.21B count is FLOPs = 2x MACs; with MACs counted
+    // uniformly the gap narrows but the ordering holds.)
+    const double resnetRatio = static_cast<double>(resnet50Macs())
+                               / (resnet50Params() * 2.0);
+    WorkloadParams wl;
+    wl.batch = 1;
+    wl.seqLen = 128;
+    const ModelConfig bert = bertBaseConfig();
+    const double bertRatio =
+        static_cast<double>(
+            transformerMacs(bert, DecompConfig::identity(), wl))
+        / transformerWeightBytes(bert, DecompConfig::identity(), 2);
+    EXPECT_GT(resnetRatio, 1.2 * bertRatio);
+    const ModelConfig llama = llama2_7bConfig();
+    const double llamaRatio =
+        static_cast<double>(
+            transformerMacs(llama, DecompConfig::identity(), wl))
+        / transformerWeightBytes(llama, DecompConfig::identity(), 2);
+    EXPECT_GT(resnetRatio, llamaRatio);
+    // Paper Table 1 ratios for the language models: 51.1 and 63.4.
+    EXPECT_NEAR(bertRatio, 51.1, 8.0);
+    EXPECT_NEAR(llamaRatio, 63.4, 8.0);
+}
+
+TEST(OpCount, DecompositionReducesMacsAndBytes)
+{
+    const ModelConfig cfg = llama2_7bConfig();
+    WorkloadParams wl;
+    const DecompConfig id = DecompConfig::identity();
+    const DecompConfig gamma =
+        DecompConfig::allTensors(cfg, {2, 9, 17, 25}, 1);
+    EXPECT_LT(transformerMacs(cfg, gamma, wl),
+              transformerMacs(cfg, id, wl));
+    EXPECT_LT(transformerWeightBytes(cfg, gamma),
+              transformerWeightBytes(cfg, id));
+    // Byte reduction equals the parameter reduction exactly.
+    const double reduction =
+        1.0
+        - static_cast<double>(transformerWeightBytes(cfg, gamma))
+              / transformerWeightBytes(cfg, id);
+    EXPECT_NEAR(reduction,
+                gamma.paramsBefore(cfg) > 0
+                    ? static_cast<double>(gamma.paramsBefore(cfg)
+                                          - gamma.paramsAfter(cfg))
+                          / cfg.totalParams()
+                    : 0.0,
+                1e-9);
+}
+
+TEST(OpCount, ProfileNamesEveryLayerTensor)
+{
+    const ModelConfig cfg = testLlamaConfig();
+    WorkloadParams wl;
+    wl.seqLen = 8;
+    const auto ops =
+        profileTransformer(cfg, DecompConfig::identity(), wl);
+    int linears = 0, bmms = 0;
+    for (const OpProfile &op : ops) {
+        if (op.name.find(".W") != std::string::npos
+            || op.name.find(".bmm") != std::string::npos)
+            ++bmms;
+        if (op.name.find("Wq") != std::string::npos)
+            ++linears;
+    }
+    EXPECT_EQ(linears, cfg.nLayers);
+    // MAC totals must be consistent with the summed profile.
+    int64_t sum = 0;
+    for (const OpProfile &op : ops)
+        sum += op.macs;
+    EXPECT_EQ(sum, transformerMacs(cfg, DecompConfig::identity(), wl));
+}
+
+TEST(OpCount, DecodeMacsScaleWithContext)
+{
+    const ModelConfig cfg = llama2_7bConfig();
+    const DecompConfig id = DecompConfig::identity();
+    const int64_t a = transformerDecodeMacs(cfg, id, 1, 128);
+    const int64_t b = transformerDecodeMacs(cfg, id, 1, 2048);
+    EXPECT_GT(b, a);
+    // Linear-layer term dominates at short context.
+    EXPECT_LT(static_cast<double>(b) / a, 1.5);
+}
+
+TEST(OpCount, KvBytesPerTokenFormula)
+{
+    const ModelConfig cfg = llama2_7bConfig();
+    // 2 (K+V) * layers * dModel * 2 bytes.
+    EXPECT_EQ(kvCacheBytesPerToken(cfg, 2), 2 * 32 * 4096 * 2);
+}
+
+TEST(OpCount, GqaShrinksKvCacheAndWeights)
+{
+    // Llama2-70B uses 8 KV heads of 128 dims: kvDim = 1024.
+    const ModelConfig cfg = llama2_70bConfig();
+    EXPECT_EQ(cfg.kvDim(), 1024);
+    EXPECT_EQ(kvCacheBytesPerToken(cfg, 2), 2 * 80 * 1024 * 2);
+    // ~69B params -> ~138 GB FP16.
+    const double bytes = static_cast<double>(
+        transformerWeightBytes(cfg, DecompConfig::identity(), 2));
+    EXPECT_GT(bytes, 132e9);
+    EXPECT_LT(bytes, 144e9);
+    // The grouped K/V tensors are rectangular; their break-even rank
+    // and decomposition arithmetic must follow the (1024, 8192) shape.
+    DecompConfig gamma =
+        DecompConfig::oneTensor(WeightKind::Key, {10}, 1);
+    EXPECT_TRUE(gamma.valid(cfg));
+    EXPECT_EQ(gamma.paramsBefore(cfg), 1024 * 8192);
+    EXPECT_EQ(gamma.paramsAfter(cfg), 1024 + 1 + 8192);
+}
+
+TEST(Roofline, PicksTheBindingResource)
+{
+    const DeviceSpec dev = a100_80gb();
+    // Huge compute, tiny bytes -> compute bound.
+    RooflineResult c = roofline(int64_t{1} << 50, 1024, dev);
+    EXPECT_FALSE(c.memoryBound);
+    EXPECT_DOUBLE_EQ(c.latencySec, c.computeSec);
+    // Tiny compute, huge bytes -> memory bound.
+    RooflineResult m = roofline(1024, int64_t{1} << 45, dev);
+    EXPECT_TRUE(m.memoryBound);
+    EXPECT_DOUBLE_EQ(m.latencySec, m.memorySec);
+}
+
+TEST(Roofline, DecodeIsMemoryBoundOnA100)
+{
+    // The paper's core observation: LLM decode is memory-bound.
+    const ModelConfig cfg = llama2_7bConfig();
+    const DeviceSpec dev = a100_80gb();
+    const int64_t macs =
+        transformerDecodeMacs(cfg, DecompConfig::identity(), 1, 512);
+    const int64_t bytes =
+        transformerWeightBytes(cfg, DecompConfig::identity(), 2);
+    EXPECT_TRUE(roofline(macs, bytes, dev).memoryBound);
+}
+
+TEST(Roofline, GenerationEstimateMonotoneInReduction)
+{
+    const ModelConfig cfg = llama2_7bConfig();
+    const DeviceSpec dev = a100_80gb();
+    GenerationWorkload wl;
+    double prevLatency = 1e30, prevEnergy = 1e30, prevMem = 1e30;
+    for (int count : {0, 4, 12, 24, 32}) {
+        DecompConfig gamma =
+            count == 0 ? DecompConfig::identity()
+                       : DecompConfig::allTensors(
+                             cfg, spreadSchedule(32, count), 1);
+        const InferenceEstimate est =
+            estimateGeneration(cfg, gamma, dev, wl);
+        EXPECT_LT(est.latencySec, prevLatency + 1e-12);
+        EXPECT_LT(est.energyJoules, prevEnergy + 1e-12);
+        EXPECT_LT(est.memBytes, prevMem + 1e-12);
+        EXPECT_GT(est.tokensPerSec, 0.0);
+        prevLatency = est.latencySec;
+        prevEnergy = est.energyJoules;
+        prevMem = est.memBytes;
+    }
+}
+
+TEST(Roofline, EnergyIsPowerTimesLatency)
+{
+    const ModelConfig cfg = llama2_7bConfig();
+    const DeviceSpec dev = a100_80gb();
+    GenerationWorkload wl;
+    const InferenceEstimate est =
+        estimateGeneration(cfg, DecompConfig::identity(), dev, wl);
+    EXPECT_NEAR(est.energyJoules, est.latencySec * dev.powerWatts, 1e-9);
+}
+
+TEST(Roofline, MemoryFootprintWithinDeviceForPaperWorkload)
+{
+    const ModelConfig cfg = llama2_7bConfig();
+    GenerationWorkload wl; // batch 16, 512 prompt + 128 decode
+    const double mem = memoryFootprintBytes(
+        cfg, DecompConfig::identity(), wl);
+    EXPECT_GT(mem, 15e9); // weights alone are 13.4 GB
+    EXPECT_LT(mem, 80e9);
+}
+
+TEST(Roofline, SlopesMatchPaperObservations)
+{
+    // Paper Section 4.4: ~0.5% latency and energy per 1% params,
+    // ~0.4% memory per 1% params. Verify the model lands in that
+    // regime (generous band: 0.2-1.1).
+    const ModelConfig cfg = llama2_7bConfig();
+    const DeviceSpec dev = a100_80gb();
+    GenerationWorkload wl;
+    wl.batch = 16;
+    wl.promptLen = 512;
+    wl.decodeTokens = 256;
+
+    const InferenceEstimate base =
+        estimateGeneration(cfg, DecompConfig::identity(), dev, wl);
+    const DecompConfig gamma = scheduleForReduction(cfg, 0.21);
+    const double reduction = gamma.parameterReduction(cfg);
+    const InferenceEstimate dec = estimateGeneration(cfg, gamma, dev, wl);
+
+    const double latencySlope =
+        (1.0 - dec.latencySec / base.latencySec) / reduction;
+    const double memSlope = (1.0 - dec.memBytes / base.memBytes) / reduction;
+    EXPECT_GT(latencySlope, 0.2);
+    EXPECT_LT(latencySlope, 1.1);
+    EXPECT_GT(memSlope, 0.2);
+    EXPECT_LT(memSlope, 1.1);
+}
+
+TEST(Roofline, MultiGpuScalesThroughputNotLatency)
+{
+    const ModelConfig cfg = llama2_7bConfig();
+    const DeviceSpec dev = a100_80gb();
+    GenerationWorkload wl;
+    const MultiGpuEstimate four = estimateGenerationMultiGpu(
+        cfg, DecompConfig::identity(), dev, wl, 4);
+    const InferenceEstimate one =
+        estimateGeneration(cfg, DecompConfig::identity(), dev, wl);
+    EXPECT_DOUBLE_EQ(four.perGpu.latencySec, one.latencySec);
+    EXPECT_NEAR(four.aggregateTokensPerSec, 4 * one.tokensPerSec, 1e-6);
+    EXPECT_NEAR(four.totalEnergyJoules, 4 * one.energyJoules, 1e-6);
+    EXPECT_THROW(estimateGenerationMultiGpu(
+                     cfg, DecompConfig::identity(), dev, wl, 0),
+                 std::runtime_error);
+}
+
+TEST(Device, SpecsAreSane)
+{
+    for (const DeviceSpec &d : {a100_80gb(), h100_80gb(), cpuCore()}) {
+        EXPECT_GT(d.peakMacsPerSec, 0.0) << d.name;
+        EXPECT_GT(d.memBandwidthBps, 0.0) << d.name;
+        EXPECT_GT(d.powerWatts, 0.0) << d.name;
+        EXPECT_GT(d.computeEfficiency, 0.0);
+        EXPECT_LE(d.computeEfficiency, 1.0);
+    }
+    // A100 arithmetic-intensity ridge ~ 76 MACs/byte.
+    const DeviceSpec a = a100_80gb();
+    EXPECT_NEAR(a.peakMacsPerSec / a.memBandwidthBps, 76.5, 1.0);
+}
+
+} // namespace
+} // namespace lrd

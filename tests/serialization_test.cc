@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Robustness tests for model serialization: format stability,
+ * corruption detection, factorized manifests, and cross-config
+ * mismatch handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/transformer.h"
+#include "tensor/ops.h"
+#include "util/cache.h"
+
+namespace lrd {
+namespace {
+
+std::vector<uint8_t>
+bytesFor(uint64_t seed)
+{
+    TransformerModel m(testLlamaConfig(), seed);
+    return m.serialize();
+}
+
+TEST(Serialization, DeterministicBytesForSameModel)
+{
+    EXPECT_EQ(bytesFor(7), bytesFor(7));
+    EXPECT_NE(bytesFor(7), bytesFor(8));
+}
+
+TEST(Serialization, TruncatedStreamIsRejected)
+{
+    auto bytes = bytesFor(1);
+    for (size_t cut : {size_t{0}, size_t{4}, bytes.size() / 2,
+                       bytes.size() - 1}) {
+        std::vector<uint8_t> truncated(bytes.begin(),
+                                       bytes.begin()
+                                           + static_cast<int64_t>(cut));
+        EXPECT_THROW(TransformerModel::deserialize(truncated),
+                     std::runtime_error)
+            << "cut at " << cut;
+    }
+}
+
+TEST(Serialization, BadMagicIsRejected)
+{
+    auto bytes = bytesFor(2);
+    bytes[8] ^= 0xFF; // inside the magic string
+    EXPECT_THROW(TransformerModel::deserialize(bytes),
+                 std::runtime_error);
+}
+
+TEST(Serialization, ConfigRoundTripsExactly)
+{
+    ModelConfig cfg = testBertConfig();
+    cfg.name = "custom-name";
+    TransformerModel m(cfg, 3);
+    TransformerModel m2 = TransformerModel::deserialize(m.serialize());
+    EXPECT_EQ(m2.config().name, "custom-name");
+    EXPECT_EQ(m2.config().arch, cfg.arch);
+    EXPECT_EQ(m2.config().vocabSize, cfg.vocabSize);
+    EXPECT_EQ(m2.config().dModel, cfg.dModel);
+    EXPECT_EQ(m2.config().nLayers, cfg.nLayers);
+    EXPECT_EQ(m2.config().nHeads, cfg.nHeads);
+    EXPECT_EQ(m2.config().dFf, cfg.dFf);
+    EXPECT_EQ(m2.config().maxSeq, cfg.maxSeq);
+}
+
+TEST(Serialization, FactorizedManifestPreservesRanks)
+{
+    TransformerModel m(testLlamaConfig(), 4);
+    m.applyTucker(0, WeightKind::Down, 3);
+    m.applyTucker(1, WeightKind::Key, 1);
+    TransformerModel m2 = TransformerModel::deserialize(m.serialize());
+    EXPECT_TRUE(m2.linear(0, WeightKind::Down).isFactorized());
+    EXPECT_EQ(m2.linear(0, WeightKind::Down).prunedRank(), 3);
+    EXPECT_TRUE(m2.linear(1, WeightKind::Key).isFactorized());
+    EXPECT_EQ(m2.linear(1, WeightKind::Key).prunedRank(), 1);
+    EXPECT_FALSE(m2.linear(0, WeightKind::Key).isFactorized());
+}
+
+TEST(Serialization, FactorizedCheckpointIsSmallerProportionally)
+{
+    TransformerModel dense(testLlamaConfig(), 5);
+    const size_t denseSize = dense.serialize().size();
+
+    TransformerModel comp(testLlamaConfig(), 5);
+    for (WeightKind k : decomposableKinds(Arch::LlamaStyle))
+        for (int64_t l = 0; l < comp.numLayers(); ++l)
+            comp.applyTucker(l, k, 1);
+    const size_t compSize = comp.serialize().size();
+    // Param counts predict the byte sizes (4 bytes per float + small
+    // header/manifest overhead).
+    const double paramRatio = static_cast<double>(comp.paramCount())
+                              / static_cast<double>(dense.paramCount());
+    const double byteRatio = static_cast<double>(compSize)
+                             / static_cast<double>(denseSize);
+    EXPECT_NEAR(byteRatio, paramRatio, 0.12); // small model: header/name overhead
+}
+
+TEST(Serialization, DensifiedModelReadsBackAsDense)
+{
+    TransformerModel m(testLlamaConfig(), 6);
+    m.applyTucker(0, WeightKind::Query, 2);
+    m.linear(0, WeightKind::Query).densify();
+    TransformerModel m2 = TransformerModel::deserialize(m.serialize());
+    EXPECT_FALSE(m2.anyFactorized());
+}
+
+TEST(Serialization, GqaConfigSurvivesRoundTrip)
+{
+    ModelConfig cfg = testLlamaConfig();
+    cfg.nKvHeads = 1;
+    TransformerModel m(cfg, 7);
+    // nKvHeads is derivable from the K projection shape; verify the
+    // deserialized model is numerically identical.
+    TransformerModel m2 = TransformerModel::deserialize(m.serialize());
+    Rng rng(1);
+    TokenSeq toks = {1, 2, 3, 4};
+    EXPECT_LT(relativeError(m.forward(toks), m2.forward(toks)), 1e-7);
+}
+
+} // namespace
+} // namespace lrd

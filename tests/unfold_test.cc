@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for mode-n unfolding/folding and mode-n products, including
+ * the Kolda-Bader identities used by Tucker decomposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "tensor/unfold.h"
+#include "util/rng.h"
+
+namespace lrd {
+namespace {
+
+TEST(Unfold, Mode0OfMatrixIsIdentity)
+{
+    Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+    Tensor u = unfold(t, 0);
+    EXPECT_EQ(u.shape(), (Shape{2, 3}));
+    EXPECT_LT(relativeError(t, u), 1e-7);
+}
+
+TEST(Unfold, Mode1OfMatrixIsTranspose)
+{
+    Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+    Tensor u = unfold(t, 1);
+    EXPECT_EQ(u.shape(), (Shape{3, 2}));
+    EXPECT_LT(relativeError(transpose2d(t), u), 1e-7);
+}
+
+TEST(Unfold, KoldaBaderWorkedExample)
+{
+    // Kolda & Bader (2009), Example 2.1: X in R^{3x4x2} with
+    // X(:,:,1) = [1 4 7 10; 2 5 8 11; 3 6 9 12],
+    // X(:,:,2) = [13 16 19 22; 14 17 20 23; 15 18 21 24].
+    Tensor x({3, 4, 2});
+    int v = 1;
+    for (int64_t k = 0; k < 2; ++k)
+        for (int64_t j = 0; j < 4; ++j)
+            for (int64_t i = 0; i < 3; ++i)
+                x.at({i, j, k}) = static_cast<float>(v++);
+
+    // X_(0) = [1 4 7 10 13 ...; 2 5 ...; 3 6 ...] with columns ordered
+    // j (fast) then k (slow).
+    Tensor u0 = unfold(x, 0);
+    EXPECT_EQ(u0.shape(), (Shape{3, 8}));
+    EXPECT_FLOAT_EQ(u0(0, 0), 1.0F);
+    EXPECT_FLOAT_EQ(u0(0, 1), 4.0F);
+    EXPECT_FLOAT_EQ(u0(0, 4), 13.0F);
+    EXPECT_FLOAT_EQ(u0(2, 7), 24.0F);
+
+    // X_(1): rows are j, columns ordered i (fast) then k (slow).
+    Tensor u1 = unfold(x, 1);
+    EXPECT_EQ(u1.shape(), (Shape{4, 6}));
+    EXPECT_FLOAT_EQ(u1(0, 0), 1.0F);
+    EXPECT_FLOAT_EQ(u1(0, 1), 2.0F);
+    EXPECT_FLOAT_EQ(u1(0, 3), 13.0F);
+    EXPECT_FLOAT_EQ(u1(3, 5), 24.0F);
+
+    // X_(2): rows are k, columns ordered i (fast) then j.
+    Tensor u2 = unfold(x, 2);
+    EXPECT_EQ(u2.shape(), (Shape{2, 12}));
+    EXPECT_FLOAT_EQ(u2(0, 0), 1.0F);
+    EXPECT_FLOAT_EQ(u2(1, 0), 13.0F);
+    EXPECT_FLOAT_EQ(u2(0, 11), 12.0F);
+}
+
+TEST(Unfold, InvalidModeThrows)
+{
+    Tensor t({2, 2});
+    EXPECT_THROW(unfold(t, 2), std::runtime_error);
+    EXPECT_THROW(unfold(t, -1), std::runtime_error);
+}
+
+TEST(Fold, RejectsBadShapes)
+{
+    Tensor m({2, 6});
+    EXPECT_THROW(fold(m, 0, {3, 4}), std::runtime_error);   // wrong lead
+    EXPECT_THROW(fold(m, 0, {2, 5}), std::runtime_error);   // wrong count
+    EXPECT_THROW(fold(m, 3, {2, 3, 2}), std::runtime_error); // bad mode
+}
+
+/** Property: fold(unfold(T, m), m) == T for every mode of random
+ *  tensors of orders 1..4. */
+class UnfoldRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnfoldRoundTrip, FoldInvertsUnfold)
+{
+    Rng rng(static_cast<uint64_t>(100 + GetParam()));
+    const int order = 1 + GetParam() % 4;
+    Shape shape;
+    for (int i = 0; i < order; ++i)
+        shape.push_back(2 + static_cast<int64_t>(rng.uniformInt(4)));
+    Tensor t = Tensor::randn(shape, rng);
+    for (int64_t m = 0; m < t.rank(); ++m) {
+        Tensor u = unfold(t, m);
+        Tensor back = fold(u, m, shape);
+        EXPECT_LT(relativeError(t, back), 1e-7)
+            << "order " << order << " mode " << m;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, UnfoldRoundTrip, ::testing::Range(0, 12));
+
+TEST(ModeProduct, MatrixModeProductsMatchMatmul)
+{
+    Rng rng(7);
+    Tensor t = Tensor::randn({4, 5}, rng);
+    Tensor m0 = Tensor::randn({3, 4}, rng);
+    Tensor m1 = Tensor::randn({2, 5}, rng);
+    // T x_0 M0 == M0 * T; T x_1 M1 == T * M1^T.
+    EXPECT_LT(relativeError(modeProduct(t, m0, 0), matmul(m0, t)), 1e-6);
+    EXPECT_LT(relativeError(modeProduct(t, m1, 1), matmulTransB(t, m1)),
+              1e-6);
+}
+
+TEST(ModeProduct, ChangesOnlyTargetMode)
+{
+    Rng rng(8);
+    Tensor t = Tensor::randn({3, 4, 5}, rng);
+    Tensor m = Tensor::randn({2, 4}, rng);
+    Tensor y = modeProduct(t, m, 1);
+    EXPECT_EQ(y.shape(), (Shape{3, 2, 5}));
+}
+
+TEST(ModeProduct, IncompatibleFactorThrows)
+{
+    Tensor t({3, 4});
+    Tensor m({2, 5});
+    EXPECT_THROW(modeProduct(t, m, 1), std::runtime_error);
+}
+
+TEST(ModeProduct, IdentityIsNoop)
+{
+    Rng rng(9);
+    Tensor t = Tensor::randn({3, 4, 2}, rng);
+    for (int64_t m = 0; m < 3; ++m) {
+        Tensor i = Tensor::eye(t.dim(m));
+        EXPECT_LT(relativeError(t, modeProduct(t, i, m)), 1e-7);
+    }
+}
+
+/** Property: mode products on distinct modes commute. */
+class ModeProductCommute : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModeProductCommute, DistinctModesCommute)
+{
+    Rng rng(static_cast<uint64_t>(200 + GetParam()));
+    Tensor t = Tensor::randn({3, 4, 5}, rng);
+    Tensor a = Tensor::randn({2, 3}, rng);
+    Tensor b = Tensor::randn({6, 5}, rng);
+    Tensor ab = modeProduct(modeProduct(t, a, 0), b, 2);
+    Tensor ba = modeProduct(modeProduct(t, b, 2), a, 0);
+    EXPECT_LT(relativeError(ab, ba), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ModeProductCommute, ::testing::Range(0, 8));
+
+TEST(ModeProduct, SameModeComposes)
+{
+    // (T x_m A) x_m B == T x_m (B A).
+    Rng rng(10);
+    Tensor t = Tensor::randn({4, 3}, rng);
+    Tensor a = Tensor::randn({5, 4}, rng);
+    Tensor b = Tensor::randn({2, 5}, rng);
+    Tensor lhs = modeProduct(modeProduct(t, a, 0), b, 0);
+    Tensor rhs = modeProduct(t, matmul(b, a), 0);
+    EXPECT_LT(relativeError(lhs, rhs), 1e-5);
+}
+
+} // namespace
+} // namespace lrd

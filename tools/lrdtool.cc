@@ -1,0 +1,240 @@
+/**
+ * @file
+ * lrdtool — command-line front-end to the lrd library.
+ *
+ * Subcommands (analytic ones need no training; eval ones load or
+ * train the cached stand-in model):
+ *
+ *   lrdtool info <preset>                 model shape + param counts
+ *   lrdtool designspace <preset>          Theorem 3.2 scale
+ *   lrdtool schedule <preset> <percent>   Table-4-style layer schedule
+ *   lrdtool profile <preset> [percent]    A100 latency/energy/memory
+ *   lrdtool breakeven <H> <W>             largest compressing rank
+ *   lrdtool eval [percent]                benchmark the tiny stand-in
+ *
+ * Presets: llama2-7b, llama2-70b, bert-base, bert-large, tiny-llama,
+ * tiny-bert.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "decomp/tucker.h"
+#include "util/logging.h"
+#include "dse/design_space.h"
+#include "dse/schedules.h"
+#include "eval/evaluator.h"
+#include "hw/roofline.h"
+#include "train/model_zoo.h"
+
+using namespace lrd;
+
+namespace {
+
+ModelConfig
+presetByName(const std::string &name)
+{
+    if (name == "llama2-7b")
+        return llama2_7bConfig();
+    if (name == "llama2-70b")
+        return llama2_70bConfig();
+    if (name == "bert-base")
+        return bertBaseConfig();
+    if (name == "bert-large")
+        return bertLargeConfig();
+    if (name == "tiny-llama")
+        return tinyLlamaConfig();
+    if (name == "tiny-bert")
+        return tinyBertConfig();
+    fatal("unknown preset '" + name
+          + "' (try llama2-7b, llama2-70b, bert-base, bert-large, "
+            "tiny-llama, tiny-bert)");
+}
+
+int
+cmdInfo(const std::string &preset)
+{
+    const ModelConfig cfg = presetByName(preset);
+    std::printf("%s (%s)\n", cfg.name.c_str(),
+                cfg.arch == Arch::LlamaStyle ? "decoder, Llama-style"
+                                             : "encoder, BERT-style");
+    std::printf("  vocab %lld  dModel %lld  layers %lld  heads %lld  "
+                "dFf %lld  maxSeq %lld\n",
+                static_cast<long long>(cfg.vocabSize),
+                static_cast<long long>(cfg.dModel),
+                static_cast<long long>(cfg.nLayers),
+                static_cast<long long>(cfg.nHeads),
+                static_cast<long long>(cfg.dFf),
+                static_cast<long long>(cfg.maxSeq));
+    std::printf("  total params        %.3f B\n",
+                static_cast<double>(cfg.totalParams()) / 1e9);
+    std::printf("  decomposable params %.3f B (%.1f%%) across %lld "
+                "tensors/layer\n",
+                static_cast<double>(cfg.allDecomposableParams()) / 1e9,
+                100.0 * static_cast<double>(cfg.allDecomposableParams())
+                    / static_cast<double>(cfg.totalParams()),
+                static_cast<long long>(cfg.numDecomposableTensors()));
+    std::printf("  FP16 size           %.2f GB\n",
+                static_cast<double>(cfg.totalParams()) * 2 / 1e9);
+    for (WeightKind kind : decomposableKinds(cfg.arch)) {
+        const auto shape = cfg.weightShape(kind);
+        std::printf("    %-5s %lld x %lld (break-even rank %lld)\n",
+                    weightKindName(kind).c_str(),
+                    static_cast<long long>(shape[0]),
+                    static_cast<long long>(shape[1]),
+                    static_cast<long long>(
+                        breakEvenRank(shape[0], shape[1])));
+    }
+    return 0;
+}
+
+int
+cmdDesignSpace(const std::string &preset)
+{
+    const ModelConfig cfg = presetByName(preset);
+    std::printf("%s: N_layers=%lld, N_tensors=%lld\n", cfg.name.c_str(),
+                static_cast<long long>(cfg.nLayers),
+                static_cast<long long>(cfg.numDecomposableTensors()));
+    std::printf("  |S_LR| = (2^%lld - 1)(2^%lld - 1) r + 1 = "
+                "O(2^%.1f) at r = 1\n",
+                static_cast<long long>(cfg.nLayers),
+                static_cast<long long>(cfg.numDecomposableTensors()),
+                designSpaceSizeLog2(cfg, 1));
+    if (cfg.nLayers <= 16)
+        std::printf("  exact count at r=1: %llu\n",
+                    static_cast<unsigned long long>(
+                        designSpaceSizeExact(cfg, 1)));
+    return 0;
+}
+
+int
+cmdSchedule(const std::string &preset, double percent)
+{
+    const ModelConfig cfg = presetByName(preset);
+    const DecompConfig gamma =
+        scheduleForReduction(cfg, percent / 100.0);
+    std::printf("target %.1f%% -> %s\n", percent,
+                gamma.describe().c_str());
+    std::printf("achieved reduction: %.2f%% (%lld -> %lld params in "
+                "decomposed tensors)\n",
+                gamma.parameterReduction(cfg) * 100.0,
+                static_cast<long long>(gamma.paramsBefore(cfg)),
+                static_cast<long long>(gamma.paramsAfter(cfg)));
+    return 0;
+}
+
+int
+cmdProfile(const std::string &preset, double percent)
+{
+    const ModelConfig cfg = presetByName(preset);
+    const DeviceSpec dev = a100_80gb();
+    GenerationWorkload wl;
+    wl.batch = 32;
+    wl.promptLen = 1024;
+    wl.decodeTokens = 256;
+    const DecompConfig gamma =
+        percent > 0.0 ? scheduleForReduction(cfg, percent / 100.0)
+                      : DecompConfig::identity();
+    const InferenceEstimate est =
+        estimateGeneration(cfg, gamma, dev, wl);
+    std::printf("%s @ %.1f%% reduction on %s (batch %lld, prompt "
+                "%lld, decode %lld):\n",
+                cfg.name.c_str(), gamma.parameterReduction(cfg) * 100.0,
+                dev.name.c_str(), static_cast<long long>(wl.batch),
+                static_cast<long long>(wl.promptLen),
+                static_cast<long long>(wl.decodeTokens));
+    std::printf("  latency  %.3f s (prefill %.3f + decode %.3f)\n",
+                est.latencySec, est.prefillSec, est.decodeSec);
+    std::printf("  decode   %.0f tok/s\n", est.tokensPerSec);
+    std::printf("  energy   %.1f J\n", est.energyJoules);
+    std::printf("  memory   %.2f GB\n", est.memBytes / 1e9);
+    return 0;
+}
+
+int
+cmdBreakEven(int64_t h, int64_t w)
+{
+    const int64_t pr = breakEvenRank(h, w);
+    std::printf("W (%lld x %lld): largest compressing pruned rank = "
+                "%lld\n",
+                static_cast<long long>(h), static_cast<long long>(w),
+                static_cast<long long>(pr));
+    if (pr >= 1)
+        std::printf("  at pr=%lld: %lld -> %lld params (%.2fx)\n",
+                    static_cast<long long>(pr),
+                    static_cast<long long>(denseParams(h, w)),
+                    static_cast<long long>(decomposedParams(h, w, pr)),
+                    compressionRatio(h, w, pr));
+    std::printf("  at pr=1:  %.1fx compression\n",
+                compressionRatio(h, w, 1));
+    return 0;
+}
+
+int
+cmdEval(double percent)
+{
+    TransformerModel model = pretrainedTinyLlama();
+    const ModelConfig cfg = model.config();
+    const DecompConfig gamma =
+        percent > 0.0 ? scheduleForReduction(cfg, percent / 100.0)
+                      : DecompConfig::identity();
+    if (!gamma.empty()) {
+        std::printf("applying %s\n", gamma.describe().c_str());
+        gamma.applyTo(model);
+    }
+    Evaluator ev(model, defaultWorld(), EvalOptions{120, 777, false});
+    for (BenchmarkKind kind : allBenchmarks()) {
+        const EvalResult r = ev.run(kind);
+        std::printf("%-14s %.3f (%d/%d)\n", benchmarkName(kind).c_str(),
+                    r.accuracy, r.numCorrect, r.numTasks);
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: lrdtool <command> [args]\n"
+        "  info <preset>\n"
+        "  designspace <preset>\n"
+        "  schedule <preset> <reduction-percent>\n"
+        "  profile <preset> [reduction-percent]\n"
+        "  breakeven <H> <W>\n"
+        "  eval [reduction-percent]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "info" && argc >= 3)
+            return cmdInfo(argv[2]);
+        if (cmd == "designspace" && argc >= 3)
+            return cmdDesignSpace(argv[2]);
+        if (cmd == "schedule" && argc >= 4)
+            return cmdSchedule(argv[2], std::atof(argv[3]));
+        if (cmd == "profile" && argc >= 3)
+            return cmdProfile(argv[2],
+                              argc >= 4 ? std::atof(argv[3]) : 0.0);
+        if (cmd == "breakeven" && argc >= 4)
+            return cmdBreakEven(std::atoll(argv[2]),
+                                std::atoll(argv[3]));
+        if (cmd == "eval")
+            return cmdEval(argc >= 3 ? std::atof(argv[2]) : 0.0);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    usage();
+    return 1;
+}
