@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_decomp.dir/bench_ablation_decomp.cc.o"
+  "CMakeFiles/bench_ablation_decomp.dir/bench_ablation_decomp.cc.o.d"
+  "bench_ablation_decomp"
+  "bench_ablation_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_def1_optimizer.dir/bench_def1_optimizer.cc.o"
+  "CMakeFiles/bench_def1_optimizer.dir/bench_def1_optimizer.cc.o.d"
+  "bench_def1_optimizer"
+  "bench_def1_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_def1_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

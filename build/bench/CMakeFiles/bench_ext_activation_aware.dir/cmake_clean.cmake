@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_activation_aware.dir/bench_ext_activation_aware.cc.o"
+  "CMakeFiles/bench_ext_activation_aware.dir/bench_ext_activation_aware.cc.o.d"
+  "bench_ext_activation_aware"
+  "bench_ext_activation_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_activation_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

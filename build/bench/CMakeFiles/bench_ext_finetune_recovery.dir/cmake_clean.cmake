@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_finetune_recovery.dir/bench_ext_finetune_recovery.cc.o"
+  "CMakeFiles/bench_ext_finetune_recovery.dir/bench_ext_finetune_recovery.cc.o.d"
+  "bench_ext_finetune_recovery"
+  "bench_ext_finetune_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_finetune_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

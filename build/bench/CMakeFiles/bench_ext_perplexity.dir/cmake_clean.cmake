@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_perplexity.dir/bench_ext_perplexity.cc.o"
+  "CMakeFiles/bench_ext_perplexity.dir/bench_ext_perplexity.cc.o.d"
+  "bench_ext_perplexity"
+  "bench_ext_perplexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_perplexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_tensor_choice.dir/bench_fig5_tensor_choice.cc.o"
+  "CMakeFiles/bench_fig5_tensor_choice.dir/bench_fig5_tensor_choice.cc.o.d"
+  "bench_fig5_tensor_choice"
+  "bench_fig5_tensor_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_tensor_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_tensor_vs_layer.dir/bench_fig6_tensor_vs_layer.cc.o"
+  "CMakeFiles/bench_fig6_tensor_vs_layer.dir/bench_fig6_tensor_vs_layer.cc.o.d"
+  "bench_fig6_tensor_vs_layer"
+  "bench_fig6_tensor_vs_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_tensor_vs_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_layer_schedules.dir/bench_table4_layer_schedules.cc.o"
+  "CMakeFiles/bench_table4_layer_schedules.dir/bench_table4_layer_schedules.cc.o.d"
+  "bench_table4_layer_schedules"
+  "bench_table4_layer_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_layer_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrd_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/lrd_bench_common.dir/bench_common.cc.o.d"
+  "liblrd_bench_common.a"
+  "liblrd_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrd_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

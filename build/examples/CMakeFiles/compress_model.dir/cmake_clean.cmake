@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_model.dir/compress_model.cpp.o"
+  "CMakeFiles/compress_model.dir/compress_model.cpp.o.d"
+  "compress_model"
+  "compress_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_profile.dir/energy_profile.cpp.o"
+  "CMakeFiles/energy_profile.dir/energy_profile.cpp.o.d"
+  "energy_profile"
+  "energy_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

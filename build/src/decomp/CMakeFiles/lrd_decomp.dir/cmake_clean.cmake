@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrd_decomp.dir/tucker.cc.o"
+  "CMakeFiles/lrd_decomp.dir/tucker.cc.o.d"
+  "liblrd_decomp.a"
+  "liblrd_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrd_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrd_dse.dir/activation_aware.cc.o"
+  "CMakeFiles/lrd_dse.dir/activation_aware.cc.o.d"
+  "CMakeFiles/lrd_dse.dir/decomp_config.cc.o"
+  "CMakeFiles/lrd_dse.dir/decomp_config.cc.o.d"
+  "CMakeFiles/lrd_dse.dir/design_space.cc.o"
+  "CMakeFiles/lrd_dse.dir/design_space.cc.o.d"
+  "CMakeFiles/lrd_dse.dir/schedules.cc.o"
+  "CMakeFiles/lrd_dse.dir/schedules.cc.o.d"
+  "liblrd_dse.a"
+  "liblrd_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrd_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrd_dse_search.dir/optimizer.cc.o"
+  "CMakeFiles/lrd_dse_search.dir/optimizer.cc.o.d"
+  "liblrd_dse_search.a"
+  "liblrd_dse_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrd_dse_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

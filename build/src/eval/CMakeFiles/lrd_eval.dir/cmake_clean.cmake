@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrd_eval.dir/benchmarks.cc.o"
+  "CMakeFiles/lrd_eval.dir/benchmarks.cc.o.d"
+  "CMakeFiles/lrd_eval.dir/evaluator.cc.o"
+  "CMakeFiles/lrd_eval.dir/evaluator.cc.o.d"
+  "liblrd_eval.a"
+  "liblrd_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrd_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrd_hw.dir/device.cc.o"
+  "CMakeFiles/lrd_hw.dir/device.cc.o.d"
+  "CMakeFiles/lrd_hw.dir/opcount.cc.o"
+  "CMakeFiles/lrd_hw.dir/opcount.cc.o.d"
+  "CMakeFiles/lrd_hw.dir/roofline.cc.o"
+  "CMakeFiles/lrd_hw.dir/roofline.cc.o.d"
+  "liblrd_hw.a"
+  "liblrd_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrd_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrd_linalg.dir/linalg.cc.o"
+  "CMakeFiles/lrd_linalg.dir/linalg.cc.o.d"
+  "liblrd_linalg.a"
+  "liblrd_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrd_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

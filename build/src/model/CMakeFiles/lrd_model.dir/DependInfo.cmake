@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/attention.cc" "src/model/CMakeFiles/lrd_model.dir/attention.cc.o" "gcc" "src/model/CMakeFiles/lrd_model.dir/attention.cc.o.d"
+  "/root/repo/src/model/config.cc" "src/model/CMakeFiles/lrd_model.dir/config.cc.o" "gcc" "src/model/CMakeFiles/lrd_model.dir/config.cc.o.d"
+  "/root/repo/src/model/embedding.cc" "src/model/CMakeFiles/lrd_model.dir/embedding.cc.o" "gcc" "src/model/CMakeFiles/lrd_model.dir/embedding.cc.o.d"
+  "/root/repo/src/model/linear.cc" "src/model/CMakeFiles/lrd_model.dir/linear.cc.o" "gcc" "src/model/CMakeFiles/lrd_model.dir/linear.cc.o.d"
+  "/root/repo/src/model/mlp.cc" "src/model/CMakeFiles/lrd_model.dir/mlp.cc.o" "gcc" "src/model/CMakeFiles/lrd_model.dir/mlp.cc.o.d"
+  "/root/repo/src/model/norms.cc" "src/model/CMakeFiles/lrd_model.dir/norms.cc.o" "gcc" "src/model/CMakeFiles/lrd_model.dir/norms.cc.o.d"
+  "/root/repo/src/model/transformer.cc" "src/model/CMakeFiles/lrd_model.dir/transformer.cc.o" "gcc" "src/model/CMakeFiles/lrd_model.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/decomp/CMakeFiles/lrd_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lrd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lrd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/lrd_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

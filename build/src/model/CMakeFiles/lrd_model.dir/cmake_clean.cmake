@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrd_model.dir/attention.cc.o"
+  "CMakeFiles/lrd_model.dir/attention.cc.o.d"
+  "CMakeFiles/lrd_model.dir/config.cc.o"
+  "CMakeFiles/lrd_model.dir/config.cc.o.d"
+  "CMakeFiles/lrd_model.dir/embedding.cc.o"
+  "CMakeFiles/lrd_model.dir/embedding.cc.o.d"
+  "CMakeFiles/lrd_model.dir/linear.cc.o"
+  "CMakeFiles/lrd_model.dir/linear.cc.o.d"
+  "CMakeFiles/lrd_model.dir/mlp.cc.o"
+  "CMakeFiles/lrd_model.dir/mlp.cc.o.d"
+  "CMakeFiles/lrd_model.dir/norms.cc.o"
+  "CMakeFiles/lrd_model.dir/norms.cc.o.d"
+  "CMakeFiles/lrd_model.dir/transformer.cc.o"
+  "CMakeFiles/lrd_model.dir/transformer.cc.o.d"
+  "liblrd_model.a"
+  "liblrd_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrd_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

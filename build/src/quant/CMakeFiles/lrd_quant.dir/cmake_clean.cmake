@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrd_quant.dir/prune.cc.o"
+  "CMakeFiles/lrd_quant.dir/prune.cc.o.d"
+  "CMakeFiles/lrd_quant.dir/quantize.cc.o"
+  "CMakeFiles/lrd_quant.dir/quantize.cc.o.d"
+  "liblrd_quant.a"
+  "liblrd_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrd_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

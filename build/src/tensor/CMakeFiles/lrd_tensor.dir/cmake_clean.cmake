@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrd_tensor.dir/ops.cc.o"
+  "CMakeFiles/lrd_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/lrd_tensor.dir/tensor.cc.o"
+  "CMakeFiles/lrd_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/lrd_tensor.dir/unfold.cc.o"
+  "CMakeFiles/lrd_tensor.dir/unfold.cc.o.d"
+  "liblrd_tensor.a"
+  "liblrd_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrd_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

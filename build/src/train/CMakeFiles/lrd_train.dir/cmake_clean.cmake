@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrd_train.dir/adam.cc.o"
+  "CMakeFiles/lrd_train.dir/adam.cc.o.d"
+  "CMakeFiles/lrd_train.dir/corpus.cc.o"
+  "CMakeFiles/lrd_train.dir/corpus.cc.o.d"
+  "CMakeFiles/lrd_train.dir/model_zoo.cc.o"
+  "CMakeFiles/lrd_train.dir/model_zoo.cc.o.d"
+  "CMakeFiles/lrd_train.dir/trainer.cc.o"
+  "CMakeFiles/lrd_train.dir/trainer.cc.o.d"
+  "CMakeFiles/lrd_train.dir/world.cc.o"
+  "CMakeFiles/lrd_train.dir/world.cc.o.d"
+  "liblrd_train.a"
+  "liblrd_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrd_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrd_util.dir/cache.cc.o"
+  "CMakeFiles/lrd_util.dir/cache.cc.o.d"
+  "CMakeFiles/lrd_util.dir/logging.cc.o"
+  "CMakeFiles/lrd_util.dir/logging.cc.o.d"
+  "CMakeFiles/lrd_util.dir/rng.cc.o"
+  "CMakeFiles/lrd_util.dir/rng.cc.o.d"
+  "CMakeFiles/lrd_util.dir/table.cc.o"
+  "CMakeFiles/lrd_util.dir/table.cc.o.d"
+  "liblrd_util.a"
+  "liblrd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

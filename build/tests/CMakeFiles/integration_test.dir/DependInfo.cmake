@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dse/CMakeFiles/lrd_dse_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/lrd_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/lrd_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/lrd_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/lrd_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/lrd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/lrd_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/lrd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lrd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lrd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

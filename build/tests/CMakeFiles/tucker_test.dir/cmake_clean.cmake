@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tucker_test.dir/tucker_test.cc.o"
+  "CMakeFiles/tucker_test.dir/tucker_test.cc.o.d"
+  "tucker_test"
+  "tucker_test.pdb"
+  "tucker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tucker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrdtool.dir/lrdtool.cc.o"
+  "CMakeFiles/lrdtool.dir/lrdtool.cc.o.d"
+  "lrdtool"
+  "lrdtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrdtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
