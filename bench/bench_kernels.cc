@@ -7,9 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "decomp/tucker.h"
 #include "linalg/linalg.h"
 #include "model/transformer.h"
+#include "parallel/thread_pool.h"
 #include "tensor/ops.h"
 #include "train/model_zoo.h"
 
@@ -29,7 +32,7 @@ BM_Gemm(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 void
 BM_GemmTransB(benchmark::State &state)
@@ -44,7 +47,53 @@ BM_GemmTransB(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_GemmTransB)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_GemmTransB)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void
+BM_GemmTransA(benchmark::State &state)
+{
+    const auto n = static_cast<int64_t>(state.range(0));
+    Rng rng(12);
+    Tensor a = Tensor::randn({n, n}, rng);
+    Tensor b = Tensor::randn({n, n}, rng);
+    for (auto _ : state) {
+        Tensor c = matmulTransA(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmTransA)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+/** Thread-scaling sweep: same 256x256x256 GEMM at a fixed pool size.
+ *  The pool is resized outside the timed region; results must be
+ *  bitwise identical at every point (see determinism_test). */
+void
+BM_GemmThreads(benchmark::State &state)
+{
+    const int threads = static_cast<int>(state.range(0));
+    static const int restoreThreads = ThreadPool::instance().numThreads();
+    ThreadPool::instance().resize(threads);
+    const int64_t n = 256;
+    Rng rng(13);
+    Tensor a = Tensor::randn({n, n}, rng);
+    Tensor b = Tensor::randn({n, n}, rng);
+    for (auto _ : state) {
+        Tensor c = matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+    ThreadPool::instance().resize(restoreThreads);
+}
+void
+threadSweepArgs(benchmark::internal::Benchmark *b)
+{
+    b->Arg(1)->Arg(2)->Arg(4);
+    const int hw =
+        static_cast<int>(std::thread::hardware_concurrency());
+    if (hw > 4)
+        b->Arg(hw);
+}
+BENCHMARK(BM_GemmThreads)->Apply(threadSweepArgs);
 
 void
 BM_Svd(benchmark::State &state)

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Run the kernel microbenchmarks and record the results as
+# BENCH_kernels.json at the repo root (google-benchmark JSON format).
+#
+# Usage: scripts/run_bench_kernels.sh [build-dir] [benchmark-filter]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+filter="${2:-}"
+
+if [[ ! -x "${build_dir}/bench/bench_kernels" ]]; then
+    echo "building bench_kernels in ${build_dir}" >&2
+    cmake -B "${build_dir}" -S "${repo_root}"
+    cmake --build "${build_dir}" -j --target bench_kernels
+fi
+
+args=(
+    "--benchmark_out=${repo_root}/BENCH_kernels.json"
+    "--benchmark_out_format=json"
+    "--benchmark_repetitions=1"
+)
+if [[ -n "${filter}" ]]; then
+    args+=("--benchmark_filter=${filter}")
+fi
+
+"${build_dir}/bench/bench_kernels" "${args[@]}"
+echo "wrote ${repo_root}/BENCH_kernels.json" >&2

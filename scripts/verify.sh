@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: clean Release build + full ctest, then a
+# ThreadSanitizer build that re-runs the determinism suite (the
+# thread-pool usage TSan must see clean).
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+echo "== tier-1: Release build + ctest =="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== TSan: determinism suite under -fsanitize=thread =="
+cmake -B build-tsan -S . -DLRD_SANITIZE=thread
+cmake --build build-tsan -j --target determinism_test
+./build-tsan/tests/determinism_test
+
+echo "verify: OK"

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "dse/schedules.h"
+#include "parallel/thread_pool.h"
 #include "util/logging.h"
 
 namespace lrd {
@@ -51,43 +52,67 @@ optimizeDecomposition(const std::vector<uint8_t> &modelBytes,
     }
 
     // Pruned candidate family (Section 3.4 insights): all tensors,
-    // spread interior layer schedules, small ranks.
-    double bestEdp = std::numeric_limits<double>::infinity();
-    bool haveBest = false;
+    // spread interior layer schedules, small ranks. Candidates are
+    // independent (each deserializes its own probe model), so the
+    // enumeration fans out across the pool; records land in a fixed
+    // grid slot and the feasibility/best fold below runs serially in
+    // enumeration order, keeping the result thread-count invariant.
     TransformerModel probe = TransformerModel::deserialize(modelBytes);
     const ModelConfig cfg = probe.config();
-    for (int64_t rank : opts.candidateRanks) {
-        for (int count = 1; count <= cfg.nLayers; ++count) {
-            DecompConfig gamma = DecompConfig::allTensors(
-                cfg, spreadSchedule(static_cast<int>(cfg.nLayers), count),
-                rank);
+    struct Candidate
+    {
+        int64_t rank;
+        int count;
+    };
+    std::vector<Candidate> grid;
+    for (int64_t rank : opts.candidateRanks)
+        for (int count = 1; count <= cfg.nLayers; ++count)
+            grid.push_back({rank, count});
 
-            TransformerModel model =
-                TransformerModel::deserialize(modelBytes);
-            gamma.applyTo(model);
-            Evaluator ev(model, world,
-                         EvalOptions{opts.evalTasks, opts.evalSeed,
-                                     false});
+    std::vector<CandidateRecord> records(grid.size());
+    parallelFor(
+        0, static_cast<int64_t>(grid.size()), 1,
+        [&](int64_t lo, int64_t hi) {
+            for (int64_t idx = lo; idx < hi; ++idx) {
+                const Candidate &cand =
+                    grid[static_cast<size_t>(idx)];
+                DecompConfig gamma = DecompConfig::allTensors(
+                    cfg,
+                    spreadSchedule(static_cast<int>(cfg.nLayers),
+                                   cand.count),
+                    cand.rank);
 
-            CandidateRecord rec;
-            rec.config = gamma;
-            rec.accuracy = ev.aggregateAccuracy();
-            rec.reduction = gamma.parameterReduction(cfg);
-            const InferenceEstimate est = edpEstimate(cfg, gamma);
-            rec.latencySec = est.latencySec;
-            rec.energyJ = est.energyJoules;
-            rec.edp = est.latencySec * est.energyJoules;
-            rec.feasible =
-                std::max(result.baselineAccuracy - rec.accuracy, 0.0)
-                < opts.accuracyDropTolerance;
+                TransformerModel model =
+                    TransformerModel::deserialize(modelBytes);
+                gamma.applyTo(model);
+                Evaluator ev(model, world,
+                             EvalOptions{opts.evalTasks, opts.evalSeed,
+                                         false});
 
-            if (rec.feasible && rec.edp < bestEdp) {
-                bestEdp = rec.edp;
-                result.best = rec;
-                haveBest = true;
+                CandidateRecord rec;
+                rec.config = gamma;
+                rec.accuracy = ev.aggregateAccuracy();
+                rec.reduction = gamma.parameterReduction(cfg);
+                const InferenceEstimate est = edpEstimate(cfg, gamma);
+                rec.latencySec = est.latencySec;
+                rec.energyJ = est.energyJoules;
+                rec.edp = est.latencySec * est.energyJoules;
+                records[static_cast<size_t>(idx)] = std::move(rec);
             }
-            result.explored.push_back(std::move(rec));
+        });
+
+    double bestEdp = std::numeric_limits<double>::infinity();
+    bool haveBest = false;
+    for (CandidateRecord &rec : records) {
+        rec.feasible =
+            std::max(result.baselineAccuracy - rec.accuracy, 0.0)
+            < opts.accuracyDropTolerance;
+        if (rec.feasible && rec.edp < bestEdp) {
+            bestEdp = rec.edp;
+            result.best = rec;
+            haveBest = true;
         }
+        result.explored.push_back(std::move(rec));
     }
 
     if (!haveBest) {

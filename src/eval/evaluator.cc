@@ -2,23 +2,26 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
 
+#include "parallel/thread_pool.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
 namespace lrd {
 
-Evaluator::Evaluator(TransformerModel &model, const World &world,
-                     EvalOptions opts)
-    : model_(model), world_(world), opts_(opts)
-{
-    require(opts_.numTasks > 0, "Evaluator: numTasks must be positive");
-}
+namespace {
 
+/**
+ * Score one multiple-choice item on a decoder model by summed
+ * log-likelihood of each choice continuation over a shared-context
+ * KV-cache session.
+ */
 int
-Evaluator::pickChoiceCausal(const McTask &task)
+pickCausal(TransformerModel &model, const McTask &task,
+           const EvalOptions &opts)
 {
-    InferenceSession base(model_);
+    InferenceSession base(model);
     Tensor firstLogits = base.append(task.context);
 
     double bestScore = -std::numeric_limits<double>::infinity();
@@ -37,7 +40,7 @@ Evaluator::pickChoiceCausal(const McTask &task)
             if (i + 1 < choice.size())
                 logits = session.append({choice[i]});
         }
-        if (opts_.lengthNormalize)
+        if (opts.lengthNormalize)
             ll /= static_cast<double>(choice.size());
         if (ll > bestScore) {
             bestScore = ll;
@@ -47,8 +50,10 @@ Evaluator::pickChoiceCausal(const McTask &task)
     return best;
 }
 
+/** Score one item on an encoder model by pseudo-log-likelihood. */
 int
-Evaluator::pickChoiceBert(const McTask &task)
+pickBert(TransformerModel &model, const World &world, const McTask &task,
+         const EvalOptions &opts)
 {
     double bestScore = -std::numeric_limits<double>::infinity();
     int best = 0;
@@ -60,12 +65,12 @@ Evaluator::pickChoiceBert(const McTask &task)
         double ll = 0.0;
         for (size_t i = 0; i < choice.size(); ++i) {
             TokenSeq masked = seq;
-            masked[start + i] = world_.maskToken();
-            Tensor logits = model_.forward(masked);
+            masked[start + i] = world.maskToken();
+            Tensor logits = model.forward(masked);
             Tensor lp = logSoftmaxLastDim(logits);
             ll += lp(static_cast<int64_t>(start + i), choice[i]);
         }
-        if (opts_.lengthNormalize)
+        if (opts.lengthNormalize)
             ll /= static_cast<double>(choice.size());
         if (ll > bestScore) {
             bestScore = ll;
@@ -75,17 +80,110 @@ Evaluator::pickChoiceBert(const McTask &task)
     return best;
 }
 
+/** Exact-match correctness of one generative item. */
+bool
+solveGen(TransformerModel &model, const World &world, const GenTask &task,
+         bool causal)
+{
+    if (causal) {
+        const TokenSeq out = greedyGenerate(
+            model, task.prompt, static_cast<int>(task.expected.size()),
+            /*stopToken=*/-1);
+        return out == task.expected;
+    }
+    // Encoder models answer by masked-slot prediction.
+    TokenSeq seq = task.prompt;
+    const size_t slot = seq.size();
+    seq.push_back(world.maskToken());
+    Tensor logits = model.forward(seq);
+    int argmax = 0;
+    const int64_t v = logits.dim(1);
+    for (int64_t j = 1; j < v; ++j)
+        if (logits(static_cast<int64_t>(slot), j)
+            > logits(static_cast<int64_t>(slot), argmax))
+            argmax = static_cast<int>(j);
+    return task.expected.size() == 1 && argmax == task.expected[0];
+}
+
+} // namespace
+
+Evaluator::Evaluator(TransformerModel &model, const World &world,
+                     EvalOptions opts)
+    : model_(model), world_(world), opts_(opts)
+{
+    require(opts_.numTasks > 0, "Evaluator: numTasks must be positive");
+}
+
+int
+Evaluator::pickChoiceCausal(const McTask &task)
+{
+    return pickCausal(model_, task, opts_);
+}
+
+int
+Evaluator::pickChoiceBert(const McTask &task)
+{
+    return pickBert(model_, world_, task, opts_);
+}
+
+/**
+ * Run fn(i, model) for i in [0, n). Model forward passes cache
+ * activations, so the shared model cannot be used from two threads;
+ * instead each pool worker scores its items on a private replica
+ * (deserialized from one snapshot, hence bitwise-identical weights),
+ * while the posting thread uses the original model. Items are
+ * independent, so any fixed item partition yields identical results —
+ * this is what keeps eval output invariant under LRD_THREADS.
+ */
+template <class Fn>
+void
+Evaluator::forEachItemParallel(int64_t n, const Fn &fn)
+{
+    ThreadPool &pool = ThreadPool::instance();
+    if (pool.numThreads() <= 1 || n <= 1 || ThreadPool::inParallelRegion()
+        || ThreadPool::workerIndex() != 0) {
+        for (int64_t i = 0; i < n; ++i)
+            fn(i, model_);
+        return;
+    }
+
+    const std::vector<uint8_t> snapshot = model_.serialize();
+    std::vector<std::unique_ptr<TransformerModel>> replicas(
+        static_cast<size_t>(pool.numThreads()));
+    pool.parallelFor(0, n, 1, [&](int64_t lo, int64_t hi) {
+        const auto w = static_cast<size_t>(ThreadPool::workerIndex());
+        TransformerModel *m = &model_;
+        if (w != 0) {
+            // Each worker index is owned by exactly one live thread,
+            // so lazy slot initialization is race-free.
+            if (!replicas[w])
+                replicas[w] = std::make_unique<TransformerModel>(
+                    TransformerModel::deserialize(snapshot));
+            m = replicas[w].get();
+        }
+        for (int64_t i = lo; i < hi; ++i)
+            fn(i, *m);
+    });
+}
+
 EvalResult
 Evaluator::runMc(BenchmarkKind kind)
 {
     const auto tasks =
         makeMcTasks(kind, world_, opts_.numTasks, opts_.seed);
     const bool causal = model_.config().arch == Arch::LlamaStyle;
+    std::vector<int> picks(tasks.size(), 0);
+    forEachItemParallel(
+        static_cast<int64_t>(tasks.size()),
+        [&](int64_t i, TransformerModel &m) {
+            const McTask &task = tasks[static_cast<size_t>(i)];
+            picks[static_cast<size_t>(i)] =
+                causal ? pickCausal(m, task, opts_)
+                       : pickBert(m, world_, task, opts_);
+        });
     EvalResult res;
-    for (const McTask &task : tasks) {
-        const int pick =
-            causal ? pickChoiceCausal(task) : pickChoiceBert(task);
-        res.numCorrect += pick == task.gold;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        res.numCorrect += picks[i] == tasks[i].gold;
         ++res.numTasks;
     }
     res.accuracy = static_cast<double>(res.numCorrect) / res.numTasks;
@@ -97,31 +195,19 @@ EvalResult
 Evaluator::runGen()
 {
     const auto tasks = makeGsm8kTasks(world_, opts_.numTasks, opts_.seed);
-    EvalResult res;
     const bool causal = model_.config().arch == Arch::LlamaStyle;
-    for (const GenTask &task : tasks) {
-        bool correct = false;
-        if (causal) {
-            const TokenSeq out = greedyGenerate(
-                model_, task.prompt,
-                static_cast<int>(task.expected.size()), /*stopToken=*/-1);
-            correct = out == task.expected;
-        } else {
-            // Encoder models answer by masked-slot prediction.
-            TokenSeq seq = task.prompt;
-            const size_t slot = seq.size();
-            seq.push_back(world_.maskToken());
-            Tensor logits = model_.forward(seq);
-            int argmax = 0;
-            const int64_t v = logits.dim(1);
-            for (int64_t j = 1; j < v; ++j)
-                if (logits(static_cast<int64_t>(slot), j)
-                    > logits(static_cast<int64_t>(slot), argmax))
-                    argmax = static_cast<int>(j);
-            correct = task.expected.size() == 1
-                      && argmax == task.expected[0];
-        }
-        res.numCorrect += correct;
+    std::vector<uint8_t> correct(tasks.size(), 0);
+    forEachItemParallel(
+        static_cast<int64_t>(tasks.size()),
+        [&](int64_t i, TransformerModel &m) {
+            correct[static_cast<size_t>(i)] =
+                solveGen(m, world_, tasks[static_cast<size_t>(i)], causal)
+                    ? 1
+                    : 0;
+        });
+    EvalResult res;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        res.numCorrect += correct[i] != 0;
         ++res.numTasks;
     }
     res.accuracy = static_cast<double>(res.numCorrect) / res.numTasks;

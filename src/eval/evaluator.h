@@ -55,6 +55,14 @@ class Evaluator
     EvalResult runMc(BenchmarkKind kind);
     EvalResult runGen();
 
+    /**
+     * Score items [0, n) via fn(i, model), fanning out across the
+     * global thread pool with one model replica per worker so the
+     * result is bitwise independent of the thread count.
+     */
+    template <class Fn>
+    void forEachItemParallel(int64_t n, const Fn &fn);
+
     TransformerModel &model_;
     const World &world_;
     EvalOptions opts_;

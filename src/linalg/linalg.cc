@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "parallel/thread_pool.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -146,26 +147,47 @@ symmetricEigen(const Tensor &s, int maxSweeps)
                                     + std::sqrt(theta * theta + 1.0));
                 const double c = 1.0 / std::sqrt(t * t + 1.0);
                 const double sn = t * c;
-                // Rotate rows/cols p and q of A.
-                for (int64_t i = 0; i < n; ++i) {
-                    const double aip = a[static_cast<size_t>(i * n + p)];
-                    const double aiq = a[static_cast<size_t>(i * n + q)];
-                    a[static_cast<size_t>(i * n + p)] = c * aip - sn * aiq;
-                    a[static_cast<size_t>(i * n + q)] = sn * aip + c * aiq;
-                }
-                for (int64_t j = 0; j < n; ++j) {
-                    const double apj = a[static_cast<size_t>(p * n + j)];
-                    const double aqj = a[static_cast<size_t>(q * n + j)];
-                    a[static_cast<size_t>(p * n + j)] = c * apj - sn * aqj;
-                    a[static_cast<size_t>(q * n + j)] = sn * apj + c * aqj;
-                }
+                // Rotate rows/cols p and q of A. Each index touches
+                // disjoint elements, so the loops parallelize for
+                // large matrices (the 2048 grain keeps small Jacobi
+                // problems dispatch-free and inline).
+                parallelFor(0, n, 2048, [&](int64_t lo, int64_t hi) {
+                    for (int64_t i = lo; i < hi; ++i) {
+                        const double aip =
+                            a[static_cast<size_t>(i * n + p)];
+                        const double aiq =
+                            a[static_cast<size_t>(i * n + q)];
+                        a[static_cast<size_t>(i * n + p)] =
+                            c * aip - sn * aiq;
+                        a[static_cast<size_t>(i * n + q)] =
+                            sn * aip + c * aiq;
+                    }
+                });
+                parallelFor(0, n, 2048, [&](int64_t lo, int64_t hi) {
+                    for (int64_t j = lo; j < hi; ++j) {
+                        const double apj =
+                            a[static_cast<size_t>(p * n + j)];
+                        const double aqj =
+                            a[static_cast<size_t>(q * n + j)];
+                        a[static_cast<size_t>(p * n + j)] =
+                            c * apj - sn * aqj;
+                        a[static_cast<size_t>(q * n + j)] =
+                            sn * apj + c * aqj;
+                    }
+                });
                 // Accumulate eigenvectors.
-                for (int64_t i = 0; i < n; ++i) {
-                    const double vip = v[static_cast<size_t>(i * n + p)];
-                    const double viq = v[static_cast<size_t>(i * n + q)];
-                    v[static_cast<size_t>(i * n + p)] = c * vip - sn * viq;
-                    v[static_cast<size_t>(i * n + q)] = sn * vip + c * viq;
-                }
+                parallelFor(0, n, 2048, [&](int64_t lo, int64_t hi) {
+                    for (int64_t i = lo; i < hi; ++i) {
+                        const double vip =
+                            v[static_cast<size_t>(i * n + p)];
+                        const double viq =
+                            v[static_cast<size_t>(i * n + q)];
+                        v[static_cast<size_t>(i * n + p)] =
+                            c * vip - sn * viq;
+                        v[static_cast<size_t>(i * n + q)] =
+                            sn * vip + c * viq;
+                    }
+                });
             }
         }
     }

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "parallel/thread_pool.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -77,8 +79,11 @@ MultiHeadAttention::forward(const Tensor &x)
     cachedProbs_ = Tensor({nHeads_, t, t});
     Tensor ctx({t, dModel_});
 
+    // Heads write disjoint probs planes and disjoint ctx column
+    // slices, so the per-head loop parallelizes deterministically.
     const int64_t group = nHeads_ / kvHeads_;
-    for (int64_t h = 0; h < nHeads_; ++h) {
+    parallelFor(0, nHeads_, 1, [&](int64_t h0, int64_t h1) {
+    for (int64_t h = h0; h < h1; ++h) {
         const int64_t kvh = h / group;
         float *probs = cachedProbs_.data() + h * t * t;
         for (int64_t i = 0; i < t; ++i) {
@@ -117,6 +122,7 @@ MultiHeadAttention::forward(const Tensor &x)
             }
         }
     }
+    });
     return wso_->forward(ctx);
 }
 
@@ -133,9 +139,13 @@ MultiHeadAttention::backward(const Tensor &dy)
     Tensor dk({t, kvDim_});
     Tensor dv({t, kvDim_});
 
-    std::vector<float> dprow(static_cast<size_t>(t));
+    // Heads within a KV group accumulate into the same dk/dv columns,
+    // so the group (not the head) is the parallel unit; heads inside a
+    // group run in ascending order, matching the serial accumulation.
     const int64_t group = nHeads_ / kvHeads_;
-    for (int64_t h = 0; h < nHeads_; ++h) {
+    parallelFor(0, kvHeads_, 1, [&](int64_t kv0, int64_t kv1) {
+    std::vector<float> dprow(static_cast<size_t>(t));
+    for (int64_t h = kv0 * group; h < kv1 * group; ++h) {
         const int64_t kvh = h / group;
         const float *probs = cachedProbs_.data() + h * t * t;
         for (int64_t i = 0; i < t; ++i) {
@@ -175,6 +185,7 @@ MultiHeadAttention::backward(const Tensor &dy)
             }
         }
     }
+    });
 
     // Invert RoPE on the gradients (rotation is orthogonal).
     applyRope(dq, 0, true, nHeads_);
@@ -218,9 +229,10 @@ MultiHeadAttention::forwardCached(const Tensor &x, KvCache &cache)
 
     const float invSqrt = 1.0F / std::sqrt(static_cast<float>(headDim_));
     Tensor ctx({n, dModel_});
-    std::vector<float> scores(static_cast<size_t>(cache.len));
     const int64_t group = nHeads_ / kvHeads_;
-    for (int64_t h = 0; h < nHeads_; ++h) {
+    parallelFor(0, nHeads_, 1, [&](int64_t h0, int64_t h1) {
+    std::vector<float> scores(static_cast<size_t>(cache.len));
+    for (int64_t h = h0; h < h1; ++h) {
         const int64_t kvh = h / group;
         for (int64_t i = 0; i < n; ++i) {
             const int64_t absPos = start + i;
@@ -254,6 +266,7 @@ MultiHeadAttention::forwardCached(const Tensor &x, KvCache &cache)
             }
         }
     }
+    });
     return wso_->forward(ctx);
 }
 

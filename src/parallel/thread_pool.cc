@@ -1,0 +1,240 @@
+#include "thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace lrd {
+
+namespace {
+
+/** 0 on the posting/external thread, 1..N-1 on pool workers. */
+thread_local int tlWorkerIndex = 0;
+
+/** Set while this thread executes a chunk body or posts a job. */
+thread_local bool tlInParallel = false;
+
+int
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("LRD_THREADS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1 && v <= 4096)
+            return static_cast<int>(v);
+        warn(strCat("LRD_THREADS='", env, "' is not a valid thread "
+                    "count; using hardware concurrency"));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+} // namespace
+
+ThreadPool &
+ThreadPool::instance()
+{
+    static ThreadPool pool(defaultThreadCount());
+    return pool;
+}
+
+ThreadPool::ThreadPool(int n) : numThreads_(n > 0 ? n : 1)
+{
+    spawnWorkers();
+}
+
+ThreadPool::~ThreadPool()
+{
+    joinWorkers();
+}
+
+void
+ThreadPool::spawnWorkers()
+{
+    workers_.reserve(static_cast<size_t>(numThreads_ - 1));
+    for (int i = 1; i < numThreads_; ++i)
+        workers_.emplace_back([this, i] { workerMain(i); });
+}
+
+void
+ThreadPool::joinWorkers()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+    workers_.clear();
+    shutdown_ = false;
+}
+
+void
+ThreadPool::resize(int n)
+{
+    require(!tlInParallel && tlWorkerIndex == 0,
+            "ThreadPool::resize: cannot resize from inside a parallel "
+            "region");
+    require(n >= 1, "ThreadPool::resize: thread count must be >= 1");
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        require(body_ == nullptr,
+                "ThreadPool::resize: a parallel region is active");
+    }
+    if (n == numThreads_)
+        return;
+    joinWorkers();
+    numThreads_ = n;
+    spawnWorkers();
+}
+
+int
+ThreadPool::workerIndex()
+{
+    return tlWorkerIndex;
+}
+
+bool
+ThreadPool::inParallelRegion()
+{
+    return tlInParallel;
+}
+
+int64_t
+ThreadPool::numChunks(int64_t begin, int64_t end, int64_t grain)
+{
+    if (end <= begin)
+        return 0;
+    const int64_t g = grain > 0 ? grain : 1;
+    return (end - begin + g - 1) / g;
+}
+
+void
+ThreadPool::runAvailableChunks(std::unique_lock<std::mutex> &lock)
+{
+    while (body_ != nullptr && nextChunk_ < jobChunks_) {
+        const int64_t chunk = nextChunk_++;
+        const ChunkFn *body = body_;
+        const int64_t lo = jobBegin_ + chunk * jobGrain_;
+        const int64_t hi = std::min(jobEnd_, lo + jobGrain_);
+        lock.unlock();
+        const bool wasIn = tlInParallel;
+        tlInParallel = true;
+        std::exception_ptr error;
+        try {
+            (*body)(chunk, lo, hi);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        tlInParallel = wasIn;
+        lock.lock();
+        if (error && !jobError_)
+            jobError_ = error;
+        if (--chunksLeft_ == 0) {
+            body_ = nullptr;
+            doneCv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerMain(int index)
+{
+    tlWorkerIndex = index;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        runAvailableChunks(lock);
+        if (shutdown_)
+            return;
+        workCv_.wait(lock, [this] {
+            return shutdown_
+                   || (body_ != nullptr && nextChunk_ < jobChunks_);
+        });
+    }
+}
+
+void
+ThreadPool::parallelForChunks(int64_t begin, int64_t end, int64_t grain,
+                              const ChunkFn &body)
+{
+    const int64_t chunks = numChunks(begin, end, grain);
+    if (chunks == 0)
+        return;
+    const int64_t g = grain > 0 ? grain : 1;
+
+    // Serial cases: a single chunk, a 1-thread pool, or a nested call
+    // from inside a running region. Chunk boundaries are identical to
+    // the parallel path, so results are bitwise the same.
+    if (chunks == 1 || numThreads_ == 1 || tlInParallel
+        || tlWorkerIndex != 0) {
+        const bool wasIn = tlInParallel;
+        tlInParallel = true;
+        try {
+            for (int64_t c = 0; c < chunks; ++c) {
+                const int64_t lo = begin + c * g;
+                body(c, lo, std::min(end, lo + g));
+            }
+        } catch (...) {
+            tlInParallel = wasIn;
+            throw;
+        }
+        tlInParallel = wasIn;
+        return;
+    }
+
+    std::unique_lock<std::mutex> lock(mu_);
+    // One job at a time: a concurrent poster from another external
+    // thread waits for the active job to drain.
+    doneCv_.wait(lock, [this] { return body_ == nullptr; });
+    body_ = &body;
+    jobBegin_ = begin;
+    jobEnd_ = end;
+    jobGrain_ = g;
+    jobChunks_ = chunks;
+    nextChunk_ = 0;
+    chunksLeft_ = chunks;
+    jobError_ = nullptr;
+    workCv_.notify_all();
+
+    runAvailableChunks(lock);
+    doneCv_.wait(lock, [this, &body] { return body_ != &body; });
+    if (jobError_) {
+        std::exception_ptr error = jobError_;
+        jobError_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
+                        const std::function<void(int64_t, int64_t)> &body)
+{
+    parallelForChunks(begin, end, grain,
+                      [&body](int64_t, int64_t lo, int64_t hi) {
+                          body(lo, hi);
+                      });
+}
+
+void
+parallelFor(int64_t begin, int64_t end, int64_t grain,
+            const std::function<void(int64_t, int64_t)> &body)
+{
+    ThreadPool::instance().parallelFor(begin, end, grain, body);
+}
+
+void
+parallelForChunks(int64_t begin, int64_t end, int64_t grain,
+                  const ChunkFn &body)
+{
+    ThreadPool::instance().parallelForChunks(begin, end, grain, body);
+}
+
+int
+parallelWorkers()
+{
+    return ThreadPool::instance().numThreads();
+}
+
+} // namespace lrd

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Persistent thread pool with a deterministic parallel-for primitive.
+ *
+ * Design rules (see docs/ARCHITECTURE.md, "Threading model"):
+ *
+ * - One process-wide pool, created on first use and sized by the
+ *   LRD_THREADS environment variable (default: hardware concurrency).
+ * - parallelFor() splits [begin, end) into fixed chunks of `grain`
+ *   iterations. The chunk boundaries depend only on (begin, end,
+ *   grain) — never on the thread count — so any parallel region whose
+ *   chunks write disjoint outputs (or that reduces per-chunk partials
+ *   in chunk order) produces bitwise-identical results at any thread
+ *   count.
+ * - Nested parallelFor() calls run inline and serially on the calling
+ *   thread; only the outermost region fans out.
+ * - There is no work stealing and no dynamic splitting: chunks are
+ *   handed out from a shared cursor, so which *thread* runs a chunk
+ *   is nondeterministic, but what the chunk *computes* is not.
+ */
+
+#ifndef LRD_PARALLEL_THREAD_POOL_H
+#define LRD_PARALLEL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lrd {
+
+/** Body of a parallel region: fn(chunkIndex, lo, hi) over [lo, hi). */
+using ChunkFn = std::function<void(int64_t, int64_t, int64_t)>;
+
+class ThreadPool
+{
+  public:
+    /**
+     * The process-wide pool. Created on first use with LRD_THREADS
+     * threads (default std::thread::hardware_concurrency, minimum 1).
+     */
+    static ThreadPool &instance();
+
+    ~ThreadPool();
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total threads that execute chunks (workers + the caller). */
+    int numThreads() const { return numThreads_; }
+
+    /**
+     * Re-size the pool (joins and respawns workers). Intended for
+     * tests and benchmarks; must not be called from inside a parallel
+     * region.
+     */
+    void resize(int n);
+
+    /**
+     * Index of the calling thread for worker-local storage: 0 for the
+     * thread that issued the parallelFor (and for any external
+     * thread), 1..numThreads()-1 for pool workers. Stable for the
+     * lifetime of a worker thread.
+     */
+    static int workerIndex();
+
+    /** True while the calling thread is executing a chunk body. */
+    static bool inParallelRegion();
+
+    /**
+     * Run body(lo, hi) over fixed chunks of [begin, end). Blocks until
+     * every chunk has completed. Safe to call from inside another
+     * parallel region (runs inline and serially in that case).
+     */
+    void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)> &body);
+
+    /**
+     * As parallelFor(), but the body also receives the chunk index —
+     * use it to store per-chunk partials that a serial, fixed-order
+     * fold then reduces deterministically.
+     */
+    void parallelForChunks(int64_t begin, int64_t end, int64_t grain,
+                           const ChunkFn &body);
+
+    /** Number of chunks parallelFor{,Chunks} will create. */
+    static int64_t numChunks(int64_t begin, int64_t end, int64_t grain);
+
+  private:
+    explicit ThreadPool(int n);
+
+    void spawnWorkers();
+    void joinWorkers();
+    void workerMain(int index);
+    /** Grab-and-run loop shared by workers and the posting thread. */
+    void runAvailableChunks(std::unique_lock<std::mutex> &lock);
+
+    mutable std::mutex mu_;
+    std::condition_variable workCv_; ///< Wakes workers when a job lands.
+    std::condition_variable doneCv_; ///< Wakes posters on completion.
+
+    // Current job; guarded by mu_. One job at a time: concurrent
+    // external posters queue on doneCv_, nested posters run inline.
+    const ChunkFn *body_ = nullptr;
+    int64_t jobBegin_ = 0;
+    int64_t jobEnd_ = 0;
+    int64_t jobGrain_ = 1;
+    int64_t jobChunks_ = 0;
+    int64_t nextChunk_ = 0;
+    int64_t chunksLeft_ = 0;
+    /** First exception thrown by a chunk body; rethrown by the poster. */
+    std::exception_ptr jobError_;
+
+    bool shutdown_ = false;
+    int numThreads_ = 1;
+    std::vector<std::thread> workers_;
+};
+
+/** parallelFor on the global pool. */
+void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)> &body);
+
+/** parallelForChunks on the global pool. */
+void parallelForChunks(int64_t begin, int64_t end, int64_t grain,
+                       const ChunkFn &body);
+
+/** Thread count of the global pool. */
+int parallelWorkers();
+
+} // namespace lrd
+
+#endif // LRD_PARALLEL_THREAD_POOL_H

@@ -1,8 +1,11 @@
 #include "ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "parallel/thread_pool.h"
 #include "util/logging.h"
 
 namespace lrd {
@@ -23,6 +26,173 @@ checkMatrix(const Tensor &a, const char *what)
     require(a.rank() == 2,
             strCat(what, ": expected rank-2 tensor, got ",
                    shapeToString(a.shape())));
+}
+
+/*
+ * Blocked GEMM with packing, shared by all three transpose variants.
+ *
+ * The driver follows the classic GotoBLAS/BLIS loop structure: the k
+ * dimension is split into KC-deep slabs whose B panel is packed once
+ * (by the posting thread), then row panels of A are packed and
+ * multiplied by an MR x NR register-tile micro-kernel written so the
+ * compiler keeps the accumulator tile in vector registers (24 zmm /
+ * 96 xmm worth of accumulators plus the B row).
+ *
+ * Determinism: every C element is produced by exactly one fixed row
+ * chunk, k slabs are visited in a fixed serial order, and the chunk
+ * partitioning depends only on the shape — so results are bitwise
+ * identical at any thread count. There is deliberately NO zero-skip
+ * (the old kernels dropped `0 * NaN` contributions); padded pack
+ * lanes only ever feed accumulator entries that are discarded.
+ */
+
+// Register tile and cache-block sizes (floats). MR*NR accumulators
+// must fit the vector register file: 8 x 48 = 24 AVX-512 registers.
+constexpr int64_t kMr = 8;
+constexpr int64_t kNr = 48;
+constexpr int64_t kKc = 384;  ///< k-slab depth (A panel stays in L2).
+constexpr int64_t kNc = 1920; ///< n-slab width (B pack stays in LLC).
+/** Rows per parallel chunk: 4 MR panels keeps ~8 chunks at m = 256. */
+constexpr int64_t kRowChunk = 4 * kMr;
+
+/** Pack an mc x kc block of A into k-major MR panels, zero-padded. */
+template <class AccessA>
+void
+packAPanels(const AccessA &a, int64_t i0, int64_t p0, int64_t mc,
+            int64_t kc, float *dst)
+{
+    for (int64_t ir = 0; ir < mc; ir += kMr) {
+        const int64_t mr = std::min(kMr, mc - ir);
+        for (int64_t p = 0; p < kc; ++p) {
+            for (int64_t i = 0; i < mr; ++i)
+                dst[p * kMr + i] = a(i0 + ir + i, p0 + p);
+            for (int64_t i = mr; i < kMr; ++i)
+                dst[p * kMr + i] = 0.0F;
+        }
+        dst += kMr * kc;
+    }
+}
+
+/** Pack a kc x nc block of B into p-major NR panels, zero-padded. */
+template <class AccessB>
+void
+packBPanels(const AccessB &b, int64_t p0, int64_t j0, int64_t kc,
+            int64_t nc, float *dst)
+{
+    for (int64_t jr = 0; jr < nc; jr += kNr) {
+        const int64_t nr = std::min(kNr, nc - jr);
+        for (int64_t p = 0; p < kc; ++p) {
+            for (int64_t j = 0; j < nr; ++j)
+                dst[p * kNr + j] = b(p0 + p, j0 + jr + j);
+            for (int64_t j = nr; j < kNr; ++j)
+                dst[p * kNr + j] = 0.0F;
+        }
+        dst += kNr * kc;
+    }
+}
+
+/**
+ * C tile (mr x nr, mr <= MR, nr <= NR) = packed A panel x packed B
+ * panel, accumulated over kc. `addInto` selects C += acc vs C = acc.
+ */
+void
+microKernel(const float *ap, const float *bp, int64_t kc, float *c,
+            int64_t ldc, int64_t mr, int64_t nr, bool addInto)
+{
+    float acc[kMr][kNr];
+    for (int64_t i = 0; i < kMr; ++i)
+        for (int64_t j = 0; j < kNr; ++j)
+            acc[i][j] = 0.0F;
+    for (int64_t p = 0; p < kc; ++p) {
+        const float *arow = ap + p * kMr;
+        const float *brow = bp + p * kNr;
+        for (int64_t i = 0; i < kMr; ++i) {
+            const float av = arow[i];
+            for (int64_t j = 0; j < kNr; ++j)
+                acc[i][j] += av * brow[j];
+        }
+    }
+    if (addInto) {
+        for (int64_t i = 0; i < mr; ++i)
+            for (int64_t j = 0; j < nr; ++j)
+                c[i * ldc + j] += acc[i][j];
+    } else {
+        for (int64_t i = 0; i < mr; ++i)
+            for (int64_t j = 0; j < nr; ++j)
+                c[i * ldc + j] = acc[i][j];
+    }
+}
+
+template <class AccessA, class AccessB>
+void
+blockedGemm(const AccessA &a, const AccessB &b, float *c, int64_t m,
+            int64_t k, int64_t n, bool accumulate)
+{
+    const int64_t ncPadMax =
+        std::min((n + kNr - 1) / kNr * kNr, kNc);
+    std::vector<float> bpack(static_cast<size_t>(kKc * ncPadMax));
+    const int64_t rowChunks = (m + kRowChunk - 1) / kRowChunk;
+
+    for (int64_t jc = 0; jc < n; jc += kNc) {
+        const int64_t nc = std::min(kNc, n - jc);
+        for (int64_t pc = 0; pc < k; pc += kKc) {
+            const int64_t kc = std::min(kKc, k - pc);
+            // B pack is shared read-only by all row chunks.
+            packBPanels(b, pc, jc, kc, nc, bpack.data());
+            const bool addInto = accumulate || pc > 0;
+
+            parallelFor(0, rowChunks, 1, [&](int64_t c0, int64_t c1) {
+                thread_local std::vector<float> apack;
+                apack.resize(static_cast<size_t>(kRowChunk * kc));
+                for (int64_t rc = c0; rc < c1; ++rc) {
+                    const int64_t ic = rc * kRowChunk;
+                    const int64_t mc = std::min(kRowChunk, m - ic);
+                    packAPanels(a, ic, pc, mc, kc, apack.data());
+                    for (int64_t jr = 0; jr < nc; jr += kNr) {
+                        const float *bp =
+                            bpack.data() + (jr / kNr) * kNr * kc;
+                        const int64_t nr = std::min(kNr, nc - jr);
+                        for (int64_t ir = 0; ir < mc; ir += kMr) {
+                            const float *ap =
+                                apack.data() + (ir / kMr) * kMr * kc;
+                            microKernel(ap, bp, kc,
+                                        c + (ic + ir) * n + jc + jr, n,
+                                        std::min(kMr, mc - ir), nr,
+                                        addInto);
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+/** Whether the packed blocked path pays for itself for this shape. */
+bool
+useBlockedGemm(int64_t m, int64_t k, int64_t n)
+{
+    return m >= 2 * kMr && n >= kNr / 2 && k >= 8;
+}
+
+/**
+ * Dot product with 16 striped lane accumulators reduced in a fixed
+ * tree: vectorizes without -ffast-math and sums in a k-only order.
+ */
+float
+laneDot(const float *x, const float *y, int64_t k)
+{
+    float lane[16] = {};
+    int64_t p = 0;
+    for (; p + 16 <= k; p += 16)
+        for (int64_t l = 0; l < 16; ++l)
+            lane[l] += x[p + l] * y[p + l];
+    for (int64_t l = 0; p + l < k; ++l)
+        lane[l] += x[p + l] * y[p + l];
+    for (int64_t l = 0; l < 8; ++l)
+        lane[l] += lane[l + 8];
+    for (int64_t l = 0; l < 4; ++l)
+        lane[l] += lane[l + 4];
+    return ((lane[0] + lane[2]) + (lane[1] + lane[3]));
 }
 
 } // namespace
@@ -86,41 +256,54 @@ void
 gemm(const float *a, const float *b, float *c, int64_t m, int64_t k,
      int64_t n, bool accumulate)
 {
-    if (!accumulate) {
-        for (int64_t i = 0; i < m * n; ++i)
-            c[i] = 0.0F;
+    if (useBlockedGemm(m, k, n)) {
+        blockedGemm([a, k](int64_t i, int64_t p) { return a[i * k + p]; },
+                    [b, n](int64_t p, int64_t j) { return b[p * n + j]; },
+                    c, m, k, n, accumulate);
+        return;
     }
-    // i-k-j loop order: unit-stride access of b and c rows vectorizes.
-    for (int64_t i = 0; i < m; ++i) {
-        const float *arow = a + i * k;
-        float *crow = c + i * n;
-        for (int64_t p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.0F)
-                continue;
-            const float *brow = b + p * n;
-            for (int64_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
+    // Skinny fallback: i-k-j loop order (unit-stride b and c rows),
+    // column chunks so even single-row products parallelize.
+    parallelFor(0, n, 512, [&](int64_t jlo, int64_t jhi) {
+        for (int64_t i = 0; i < m; ++i) {
+            float *crow = c + i * n;
+            if (!accumulate) {
+                for (int64_t j = jlo; j < jhi; ++j)
+                    crow[j] = 0.0F;
+            }
+            const float *arow = a + i * k;
+            for (int64_t p = 0; p < k; ++p) {
+                const float av = arow[p];
+                const float *brow = b + p * n;
+                for (int64_t j = jlo; j < jhi; ++j)
+                    crow[j] += av * brow[j];
+            }
         }
-    }
+    });
 }
 
 void
 gemmTransB(const float *a, const float *b, float *c, int64_t m, int64_t k,
            int64_t n, bool accumulate)
 {
-    // c[i][j] = sum_p a[i][p] * b[j][p]; dot products over contiguous rows.
-    for (int64_t i = 0; i < m; ++i) {
-        const float *arow = a + i * k;
-        float *crow = c + i * n;
-        for (int64_t j = 0; j < n; ++j) {
-            const float *brow = b + j * k;
-            float acc = 0.0F;
-            for (int64_t p = 0; p < k; ++p)
-                acc += arow[p] * brow[p];
-            crow[j] = accumulate ? crow[j] + acc : acc;
-        }
+    if (useBlockedGemm(m, k, n)) {
+        blockedGemm([a, k](int64_t i, int64_t p) { return a[i * k + p]; },
+                    [b, k](int64_t p, int64_t j) { return b[j * k + p]; },
+                    c, m, k, n, accumulate);
+        return;
     }
+    // Skinny fallback: lane-accumulator dot products over the
+    // contiguous rows of a and b, parallel over output columns.
+    parallelFor(0, n, 128, [&](int64_t jlo, int64_t jhi) {
+        for (int64_t i = 0; i < m; ++i) {
+            const float *arow = a + i * k;
+            float *crow = c + i * n;
+            for (int64_t j = jlo; j < jhi; ++j) {
+                const float acc = laneDot(arow, b + j * k, k);
+                crow[j] = accumulate ? crow[j] + acc : acc;
+            }
+        }
+    });
 }
 
 void
@@ -128,22 +311,31 @@ gemmTransA(const float *a, const float *b, float *c, int64_t m, int64_t k,
            int64_t n, bool accumulate)
 {
     // c (k x n) = sum_i a[i][:]^T outer b[i][:].
-    if (!accumulate) {
-        for (int64_t i = 0; i < k * n; ++i)
-            c[i] = 0.0F;
+    if (useBlockedGemm(k, m, n)) {
+        blockedGemm([a, k](int64_t i, int64_t p) { return a[p * k + i]; },
+                    [b, n](int64_t p, int64_t j) { return b[p * n + j]; },
+                    c, k, m, n, accumulate);
+        return;
     }
-    for (int64_t i = 0; i < m; ++i) {
-        const float *arow = a + i * k;
-        const float *brow = b + i * n;
-        for (int64_t p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.0F)
-                continue;
-            float *crow = c + p * n;
-            for (int64_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
+    // Skinny fallback: parallel over the rows of c, so every output
+    // element is owned by exactly one chunk.
+    parallelFor(0, k, 64, [&](int64_t plo, int64_t phi) {
+        if (!accumulate) {
+            for (int64_t p = plo; p < phi; ++p)
+                for (int64_t j = 0; j < n; ++j)
+                    c[p * n + j] = 0.0F;
         }
-    }
+        for (int64_t i = 0; i < m; ++i) {
+            const float *arow = a + i * k;
+            const float *brow = b + i * n;
+            for (int64_t p = plo; p < phi; ++p) {
+                const float av = arow[p];
+                float *crow = c + p * n;
+                for (int64_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
+        }
+    });
 }
 
 Tensor
@@ -210,13 +402,11 @@ matvec(const Tensor &a, const Tensor &x)
     const int64_t m = a.dim(0), n = a.dim(1);
     const float *ad = a.data();
     const float *xd = x.data();
-    for (int64_t i = 0; i < m; ++i) {
-        float acc = 0.0F;
-        const float *row = ad + i * n;
-        for (int64_t j = 0; j < n; ++j)
-            acc += row[j] * xd[j];
-        y[i] = acc;
-    }
+    float *yd = y.data();
+    parallelFor(0, m, 64, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            yd[i] = laneDot(ad + i * n, xd, n);
+    });
     return y;
 }
 

@@ -42,6 +42,10 @@ Tensor matvec(const Tensor &a, const Tensor &x);
 
 /** @name Raw-pointer GEMM kernels used by hot paths
  *  C (m x n) = A (m x k) * B (k x n), with accumulate option.
+ *
+ *  Cache-blocked, packed, and parallelized over fixed row chunks of
+ *  the global thread pool; results are bitwise identical at any
+ *  LRD_THREADS setting. IEEE special values propagate (no zero-skip).
  *  @{
  */
 void gemm(const float *a, const float *b, float *c, int64_t m, int64_t k,

@@ -1,7 +1,9 @@
 #include "trainer.h"
 
 #include <cmath>
+#include <memory>
 
+#include "parallel/thread_pool.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -51,6 +53,21 @@ Trainer::makeExample(TokenSeq &tokens, std::vector<int> &targets)
     }
 }
 
+namespace {
+
+/** Copy a model's accumulated gradients into one flat buffer. */
+void
+extractGrads(const std::vector<Parameter *> &params,
+             std::vector<float> &out)
+{
+    out.clear();
+    for (Parameter *p : params)
+        out.insert(out.end(), p->grad.storage().begin(),
+                   p->grad.storage().end());
+}
+
+} // namespace
+
 double
 Trainer::run()
 {
@@ -58,19 +75,87 @@ Trainer::run()
     aopts.lr = opts_.lr;
     AdamW optimizer(model_.parameters(), aopts);
 
+    /*
+     * Batch items are independent given the example stream, so each
+     * item's gradient is computed into its own buffer (on a private
+     * model replica when the pool has more than one thread) and the
+     * buffers are reduced in fixed item order. The summation tree is
+     * therefore identical at every LRD_THREADS setting: bitwise
+     * deterministic training. Examples are always drawn serially so
+     * the corpus/mask RNG streams match the sequential trainer.
+     */
+    ThreadPool &pool = ThreadPool::instance();
+    const int numWorkers = std::min(pool.numThreads(), opts_.batchSeqs);
+    std::vector<std::unique_ptr<TransformerModel>> replicas;
+    if (numWorkers > 1) {
+        const std::vector<uint8_t> snapshot = model_.serialize();
+        replicas.resize(static_cast<size_t>(pool.numThreads()));
+        for (int w = 1; w < pool.numThreads(); ++w)
+            replicas[static_cast<size_t>(w)] =
+                std::make_unique<TransformerModel>(
+                    TransformerModel::deserialize(snapshot));
+    }
+    const std::vector<Parameter *> masterParams = model_.parameters();
+
     Timer timer;
     double lastLoss = 0.0;
+    std::vector<TokenSeq> tokens(static_cast<size_t>(opts_.batchSeqs));
+    std::vector<std::vector<int>> targets(
+        static_cast<size_t>(opts_.batchSeqs));
+    std::vector<std::vector<float>> itemGrads(
+        static_cast<size_t>(opts_.batchSeqs));
+    std::vector<double> itemLoss(static_cast<size_t>(opts_.batchSeqs));
+
     for (int step = 0; step < opts_.steps; ++step) {
+        for (int b = 0; b < opts_.batchSeqs; ++b)
+            makeExample(tokens[static_cast<size_t>(b)],
+                        targets[static_cast<size_t>(b)]);
+
+        // Push the optimizer's latest weights into every replica.
+        for (auto &replica : replicas) {
+            if (!replica)
+                continue;
+            const auto rp = replica->parameters();
+            for (size_t j = 0; j < masterParams.size(); ++j)
+                rp[j]->value.storage() =
+                    masterParams[j]->value.storage();
+        }
+
+        pool.parallelFor(0, opts_.batchSeqs, 1,
+                         [&](int64_t lo, int64_t hi) {
+            const auto w =
+                static_cast<size_t>(ThreadPool::workerIndex());
+            TransformerModel &m = (w == 0 || replicas.empty()
+                                   || !replicas[w])
+                                      ? model_
+                                      : *replicas[w];
+            const auto params = m.parameters();
+            for (int64_t b = lo; b < hi; ++b) {
+                m.zeroGrad();
+                itemLoss[static_cast<size_t>(b)] = m.lossAndGrad(
+                    tokens[static_cast<size_t>(b)],
+                    targets[static_cast<size_t>(b)]);
+                extractGrads(params,
+                             itemGrads[static_cast<size_t>(b)]);
+            }
+        });
+
+        // Fixed-order reduction: grads and loss fold in item order.
         model_.zeroGrad();
         double lossSum = 0.0;
         for (int b = 0; b < opts_.batchSeqs; ++b) {
-            TokenSeq tokens;
-            std::vector<int> targets;
-            makeExample(tokens, targets);
-            lossSum += model_.lossAndGrad(tokens, targets);
+            const std::vector<float> &g =
+                itemGrads[static_cast<size_t>(b)];
+            size_t off = 0;
+            for (Parameter *p : masterParams) {
+                float *pg = p->grad.data();
+                for (int64_t i = 0; i < p->grad.size(); ++i)
+                    pg[i] += g[off++];
+            }
+            lossSum += itemLoss[static_cast<size_t>(b)];
         }
         // Average the accumulated gradients over the batch.
-        for (Parameter *p : model_.parameters())
+        for (Parameter *p : masterParams)
             for (int64_t i = 0; i < p->grad.size(); ++i)
                 p->grad[i] /= static_cast<float>(opts_.batchSeqs);
         lastLoss = lossSum / opts_.batchSeqs;

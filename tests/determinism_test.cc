@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Bitwise determinism of every parallelized path across thread
+ * counts: the pool's fixed chunk partitioning must make matmul (all
+ * transpose variants), truncatedSvd, the evaluator, and the trainer
+ * produce identical bits at LRD_THREADS=1 and LRD_THREADS=8.
+ *
+ * This suite is the one the verify script re-runs under
+ * -DLRD_SANITIZE=thread: it exercises the pool from a single posting
+ * thread across resize cycles, which is exactly the usage TSan must
+ * see clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "linalg/linalg.h"
+#include "model/config.h"
+#include "parallel/thread_pool.h"
+#include "tensor/ops.h"
+#include "train/model_zoo.h"
+#include "train/trainer.h"
+
+namespace lrd {
+namespace {
+
+constexpr int kManyThreads = 8;
+
+/** Run fn with the pool at n threads, restoring nothing: each test
+ *  sets the count it needs explicitly. */
+template <class Fn>
+auto
+withThreads(int n, Fn fn)
+{
+    ThreadPool::instance().resize(n);
+    return fn();
+}
+
+bool
+bitwiseEqual(const Tensor &a, const Tensor &b)
+{
+    return a.shape() == b.shape()
+           && std::memcmp(a.data(), b.data(),
+                          static_cast<size_t>(a.size()) * sizeof(float))
+                  == 0;
+}
+
+TEST(Determinism, MatmulAllVariantsAcrossThreadCounts)
+{
+    Rng rng(42);
+    // Odd shapes that straddle the register-tile and row-chunk
+    // boundaries of the blocked kernel.
+    const Tensor a = Tensor::randn({150, 97}, rng);
+    const Tensor b = Tensor::randn({97, 201}, rng);
+    const Tensor bt = Tensor::randn({201, 97}, rng);
+    const Tensor at = Tensor::randn({150, 201}, rng);
+
+    const Tensor c1 = withThreads(1, [&] { return matmul(a, b); });
+    const Tensor d1 = withThreads(1, [&] { return matmulTransB(a, bt); });
+    const Tensor e1 = withThreads(1, [&] { return matmulTransA(a, at); });
+    const Tensor cN =
+        withThreads(kManyThreads, [&] { return matmul(a, b); });
+    const Tensor dN =
+        withThreads(kManyThreads, [&] { return matmulTransB(a, bt); });
+    const Tensor eN =
+        withThreads(kManyThreads, [&] { return matmulTransA(a, at); });
+
+    EXPECT_TRUE(bitwiseEqual(c1, cN));
+    EXPECT_TRUE(bitwiseEqual(d1, dN));
+    EXPECT_TRUE(bitwiseEqual(e1, eN));
+}
+
+TEST(Determinism, TruncatedSvdAcrossThreadCounts)
+{
+    Rng rng(43);
+    const Tensor a = Tensor::randn({70, 50}, rng);
+    const SvdResult s1 =
+        withThreads(1, [&] { return truncatedSvd(a, 8); });
+    const SvdResult sN =
+        withThreads(kManyThreads, [&] { return truncatedSvd(a, 8); });
+    EXPECT_TRUE(bitwiseEqual(s1.u, sN.u));
+    EXPECT_TRUE(bitwiseEqual(s1.v, sN.v));
+    ASSERT_EQ(s1.s.size(), sN.s.size());
+    for (size_t i = 0; i < s1.s.size(); ++i)
+        EXPECT_EQ(s1.s[i], sN.s[i]) << "singular value " << i;
+}
+
+TEST(Determinism, EvaluatorAcrossThreadCounts)
+{
+    const World &world = defaultWorld();
+    const auto evalOnce = [&] {
+        TransformerModel model(tinyLlamaConfig(), 1234);
+        Evaluator ev(model, world, EvalOptions{16, 999, false});
+        return ev.run(allBenchmarks().front());
+    };
+    const EvalResult r1 = withThreads(1, evalOnce);
+    const EvalResult rN = withThreads(kManyThreads, evalOnce);
+    EXPECT_EQ(r1.numCorrect, rN.numCorrect);
+    EXPECT_EQ(r1.numTasks, rN.numTasks);
+    EXPECT_EQ(r1.accuracy, rN.accuracy);
+}
+
+TEST(Determinism, TrainerAcrossThreadCounts)
+{
+    const World &world = defaultWorld();
+    TrainOptions topts;
+    topts.steps = 4;
+    topts.batchSeqs = 4;
+    topts.seqLen = 24;
+    topts.warmupSteps = 2;
+    topts.logEvery = 0;
+    const auto trainOnce = [&] {
+        TransformerModel model(tinyLlamaConfig(), 777);
+        Trainer trainer(model, world, topts);
+        const double loss = trainer.run();
+        return std::make_pair(loss, model.serialize());
+    };
+    const auto [loss1, bytes1] = withThreads(1, trainOnce);
+    const auto [lossN, bytesN] = withThreads(kManyThreads, trainOnce);
+    EXPECT_EQ(loss1, lossN);
+    EXPECT_EQ(bytes1, bytesN);
+}
+
+TEST(Determinism, GemmSkinnyFallbackAcrossThreadCounts)
+{
+    Rng rng(44);
+    // Shapes below the blocked-path threshold take the fallback
+    // kernels, which parallelize over columns / output rows.
+    const Tensor a = Tensor::randn({1, 3000}, rng);
+    const Tensor b = Tensor::randn({3000, 700}, rng);
+    const Tensor bt = Tensor::randn({700, 3000}, rng);
+    const Tensor c1 = withThreads(1, [&] { return matmul(a, b); });
+    const Tensor cN =
+        withThreads(kManyThreads, [&] { return matmul(a, b); });
+    const Tensor d1 = withThreads(1, [&] { return matmulTransB(a, bt); });
+    const Tensor dN =
+        withThreads(kManyThreads, [&] { return matmulTransB(a, bt); });
+    EXPECT_TRUE(bitwiseEqual(c1, cN));
+    EXPECT_TRUE(bitwiseEqual(d1, dN));
+}
+
+} // namespace
+} // namespace lrd

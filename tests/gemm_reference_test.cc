@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <tuple>
+
 #include "tensor/ops.h"
 #include "util/rng.h"
 
@@ -89,10 +93,8 @@ TEST(GemmEdge, OneByOne)
     EXPECT_FLOAT_EQ(c[0], -6.0F);
 }
 
-TEST(GemmEdge, ZeroEntriesSkipPathIsCorrect)
+TEST(GemmEdge, SparseInputsMatchReference)
 {
-    // The i-k-j kernel skips zero a-values; verify it still matches
-    // the reference on sparse inputs.
     Rng rng(7);
     Tensor a = Tensor::randn({6, 6}, rng);
     for (int64_t i = 0; i < a.size(); i += 2)
@@ -103,6 +105,98 @@ TEST(GemmEdge, ZeroEntriesSkipPathIsCorrect)
     Tensor got({6, 6});
     gemm(a.data(), b.data(), got.data(), 6, 6, 6, false);
     EXPECT_LT(relativeError(want, got), 1e-5);
+}
+
+/** Shapes chosen to straddle the blocked kernel's tile sizes
+ *  (MR=8, NR=48, KC=384, 32-row chunks), including 1 x k x 1. */
+class GemmOddShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(GemmOddShapes, AllVariantsMatchScalarReference)
+{
+    const auto [mi, ki, ni] = GetParam();
+    const int64_t m = mi, k = ki, n = ni;
+    Rng rng(static_cast<uint64_t>(9000 + m * 31 + k * 7 + n));
+    for (const bool accumulate : {false, true}) {
+        {
+            Tensor a = Tensor::randn({m, k}, rng);
+            Tensor b = Tensor::randn({k, n}, rng);
+            Tensor want = Tensor::randn({m, n}, rng);
+            Tensor got = want;
+            referenceGemm(a, b, want, false, false, accumulate);
+            gemm(a.data(), b.data(), got.data(), m, k, n, accumulate);
+            EXPECT_LT(relativeError(want, got), 1e-4)
+                << m << "x" << k << "x" << n << " acc=" << accumulate;
+        }
+        {
+            Tensor a = Tensor::randn({m, k}, rng);
+            Tensor b = Tensor::randn({n, k}, rng);
+            Tensor want = Tensor::randn({m, n}, rng);
+            Tensor got = want;
+            referenceGemm(a, b, want, false, true, accumulate);
+            gemmTransB(a.data(), b.data(), got.data(), m, k, n,
+                       accumulate);
+            EXPECT_LT(relativeError(want, got), 1e-4)
+                << m << "x" << k << "x" << n << "^T acc=" << accumulate;
+        }
+        {
+            Tensor a = Tensor::randn({m, k}, rng);
+            Tensor b = Tensor::randn({m, n}, rng);
+            Tensor want = Tensor::randn({k, n}, rng);
+            Tensor got = want;
+            referenceGemm(a, b, want, true, false, accumulate);
+            gemmTransA(a.data(), b.data(), got.data(), m, k, n,
+                       accumulate);
+            EXPECT_LT(relativeError(want, got), 1e-4)
+                << m << "^T x" << k << "x" << n << " acc=" << accumulate;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TileBoundaries, GemmOddShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1),
+                      std::make_tuple(1, 385, 1),
+                      std::make_tuple(1, 17, 49),
+                      std::make_tuple(7, 9, 47),
+                      std::make_tuple(8, 384, 48),
+                      std::make_tuple(9, 385, 49),
+                      std::make_tuple(16, 8, 24),
+                      std::make_tuple(31, 390, 95),
+                      std::make_tuple(33, 401, 97),
+                      std::make_tuple(65, 130, 53),
+                      std::make_tuple(129, 63, 201)));
+
+TEST(GemmEdge, NanPropagatesThroughZeroEntries)
+{
+    // 0 * NaN must be NaN: the old kernels skipped zero a-values and
+    // silently dropped NaN/Inf contributions from b.
+    Tensor a({1, 2}, {0.0F, 1.0F});
+    Tensor b({2, 1},
+             {std::numeric_limits<float>::quiet_NaN(), 2.0F});
+    Tensor c({1, 1});
+    gemm(a.data(), b.data(), c.data(), 1, 2, 1, false);
+    EXPECT_TRUE(std::isnan(c[0]));
+
+    // Same property through the blocked path.
+    const int64_t m = 32, k = 64, n = 64;
+    Rng rng(11);
+    Tensor ab = Tensor::randn({m, k}, rng);
+    Tensor bb = Tensor::randn({k, n}, rng);
+    ab(3, 5) = 0.0F;
+    bb(5, 7) = std::numeric_limits<float>::quiet_NaN();
+    Tensor cb({m, n});
+    gemm(ab.data(), bb.data(), cb.data(), m, k, n, false);
+    EXPECT_TRUE(std::isnan(cb(3, 7)));
+
+    // 0 * inf = NaN propagates through gemmTransA as well.
+    Tensor at({1, 1}, {0.0F});
+    Tensor bt({1, 1}, {std::numeric_limits<float>::infinity()});
+    Tensor ct({1, 1});
+    gemmTransA(at.data(), bt.data(), ct.data(), 1, 1, 1, false);
+    EXPECT_TRUE(std::isnan(ct[0]));
 }
 
 } // namespace
