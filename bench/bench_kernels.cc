@@ -12,6 +12,8 @@
 #include "decomp/tucker.h"
 #include "linalg/linalg.h"
 #include "model/transformer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "tensor/ops.h"
 #include "train/model_zoo.h"
@@ -63,6 +65,44 @@ BM_GemmTransA(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_GemmTransA)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+/** BM_Gemm with metrics recording forced on: the delta against
+ *  BM_Gemm/256 is the instrumentation overhead (budget: <2%). */
+void
+BM_GemmMetricsOn(benchmark::State &state)
+{
+    const auto n = static_cast<int64_t>(state.range(0));
+    Rng rng(1);
+    Tensor a = Tensor::randn({n, n}, rng);
+    Tensor b = Tensor::randn({n, n}, rng);
+    MetricsRegistry::instance().setEnabled(true);
+    for (auto _ : state) {
+        Tensor c = matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    MetricsRegistry::instance().setEnabled(false);
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmMetricsOn)->Arg(256);
+
+/** BM_Gemm with tracing on (spans recorded into the ring buffers). */
+void
+BM_GemmTraceOn(benchmark::State &state)
+{
+    const auto n = static_cast<int64_t>(state.range(0));
+    Rng rng(1);
+    Tensor a = Tensor::randn({n, n}, rng);
+    Tensor b = Tensor::randn({n, n}, rng);
+    Tracer::instance().setEnabled(true);
+    for (auto _ : state) {
+        Tensor c = matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    Tracer::instance().setEnabled(false);
+    Tracer::instance().clear();
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmTraceOn)->Arg(256);
 
 /** Thread-scaling sweep: same 256x256x256 GEMM at a fixed pool size.
  *  The pool is resized outside the timed region; results must be

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: clean Release build + full ctest, then a
 # ThreadSanitizer build that re-runs the determinism suite (the
-# thread-pool usage TSan must see clean).
+# thread-pool usage TSan must see clean) and the observability suite
+# (metric shards, trace rings, and the atomic log level must be
+# race-free when pool workers record concurrently).
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -14,9 +16,10 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "== TSan: determinism suite under -fsanitize=thread =="
+echo "== TSan: determinism + obs suites under -fsanitize=thread =="
 cmake -B build-tsan -S . -DLRD_SANITIZE=thread
-cmake --build build-tsan -j --target determinism_test
+cmake --build build-tsan -j --target determinism_test obs_test
 ./build-tsan/tests/determinism_test
+./build-tsan/tests/obs_test
 
 echo "verify: OK"

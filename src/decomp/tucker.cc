@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "linalg/linalg.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/unfold.h"
 #include "util/logging.h"
@@ -133,6 +135,10 @@ Tucker2d::paramCount() const
 Tucker2d
 tucker2dDecompose(const Tensor &w, int64_t prunedRank)
 {
+    LRD_TRACE_SPAN("tucker2d");
+    static Counter *calls =
+        MetricsRegistry::instance().counter("tucker2d.calls");
+    calls->inc();
     require(w.rank() == 2, "tucker2dDecompose: weight must be a matrix");
     const int64_t h = w.dim(0), wd = w.dim(1);
     require(prunedRank >= 1 && prunedRank <= std::min(h, wd),

@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "dse/schedules.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "util/logging.h"
 
@@ -73,7 +75,11 @@ optimizeDecomposition(const std::vector<uint8_t> &modelBytes,
     parallelFor(
         0, static_cast<int64_t>(grid.size()), 1,
         [&](int64_t lo, int64_t hi) {
+            static Counter *candidates =
+                MetricsRegistry::instance().counter("dse.candidates");
             for (int64_t idx = lo; idx < hi; ++idx) {
+                LRD_TRACE_SPAN("dse.candidate");
+                candidates->inc();
                 const Candidate &cand =
                     grid[static_cast<size_t>(idx)];
                 DecompConfig gamma = DecompConfig::allTensors(

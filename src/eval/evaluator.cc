@@ -4,6 +4,8 @@
 #include <limits>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -139,11 +141,16 @@ template <class Fn>
 void
 Evaluator::forEachItemParallel(int64_t n, const Fn &fn)
 {
+    static Counter *items =
+        MetricsRegistry::instance().counter("eval.items");
     ThreadPool &pool = ThreadPool::instance();
     if (pool.numThreads() <= 1 || n <= 1 || ThreadPool::inParallelRegion()
         || ThreadPool::workerIndex() != 0) {
-        for (int64_t i = 0; i < n; ++i)
+        for (int64_t i = 0; i < n; ++i) {
+            LRD_TRACE_SPAN("eval.item");
+            items->inc();
             fn(i, model_);
+        }
         return;
     }
 
@@ -161,8 +168,11 @@ Evaluator::forEachItemParallel(int64_t n, const Fn &fn)
                     TransformerModel::deserialize(snapshot));
             m = replicas[w].get();
         }
-        for (int64_t i = lo; i < hi; ++i)
+        for (int64_t i = lo; i < hi; ++i) {
+            LRD_TRACE_SPAN("eval.item");
+            items->inc();
             fn(i, *m);
+        }
     });
 }
 

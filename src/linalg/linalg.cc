@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -133,7 +135,25 @@ symmetricEigen(const Tensor &s, int maxSweeps)
         normA += x * x;
     const double tol = 1e-24 * (normA > 0.0 ? normA : 1.0);
 
-    for (int sweep = 0; sweep < maxSweeps && off() > tol; ++sweep) {
+    struct JacobiMetrics
+    {
+        Counter *sweeps;
+        Histogram *sweepsPerCall;
+    };
+    static JacobiMetrics jm = [] {
+        MetricsRegistry &reg = MetricsRegistry::instance();
+        return JacobiMetrics{reg.counter("jacobi.sweeps"),
+                             reg.histogram("jacobi.sweepsPerCall")};
+    }();
+
+    // Evaluate the off-diagonal norm once up front and once after each
+    // sweep: the same sequence of off() evaluations as the plain
+    // `off() > tol` loop condition, so results stay bitwise identical,
+    // but the current norm is available as a trace-span payload.
+    int sweepsDone = 0;
+    double offNow = off();
+    for (int sweep = 0; sweep < maxSweeps && offNow > tol; ++sweep) {
+        LRD_TRACE_SPAN("jacobi.sweep", offNow);
         for (int64_t p = 0; p < n - 1; ++p) {
             for (int64_t q = p + 1; q < n; ++q) {
                 const double apq = a[static_cast<size_t>(p * n + q)];
@@ -190,7 +210,11 @@ symmetricEigen(const Tensor &s, int maxSweeps)
                 });
             }
         }
+        ++sweepsDone;
+        jm.sweeps->inc();
+        offNow = off();
     }
+    jm.sweepsPerCall->record(sweepsDone);
 
     // Sort descending by eigenvalue.
     std::vector<int64_t> order(static_cast<size_t>(n));
@@ -265,6 +289,10 @@ svdShortFat(const Tensor &a)
 SvdResult
 svd(const Tensor &a)
 {
+    LRD_TRACE_SPAN("svd");
+    static Counter *calls =
+        MetricsRegistry::instance().counter("svd.calls");
+    calls->inc();
     require(a.rank() == 2, "svd: input must be a matrix");
     const int64_t m = a.dim(0), n = a.dim(1);
     require(m > 0 && n > 0, "svd: empty matrix");

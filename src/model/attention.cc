@@ -4,11 +4,25 @@
 #include <limits>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
 namespace lrd {
+
+namespace {
+
+Counter *
+headsProcessedCounter()
+{
+    static Counter *c =
+        MetricsRegistry::instance().counter("attn.headsProcessed");
+    return c;
+}
+
+} // namespace
 
 MultiHeadAttention::MultiHeadAttention(const ModelConfig &cfg,
                                        int64_t layerIdx, Rng &rng)
@@ -65,6 +79,7 @@ MultiHeadAttention::applyRope(Tensor &qk, int64_t startPos, bool inverse,
 Tensor
 MultiHeadAttention::forward(const Tensor &x)
 {
+    LRD_TRACE_SPAN("attn.forward");
     require(x.rank() == 2 && x.dim(1) == dModel_,
             strCat("MultiHeadAttention::forward: bad input ",
                    shapeToString(x.shape())));
@@ -83,6 +98,7 @@ MultiHeadAttention::forward(const Tensor &x)
     // slices, so the per-head loop parallelizes deterministically.
     const int64_t group = nHeads_ / kvHeads_;
     parallelFor(0, nHeads_, 1, [&](int64_t h0, int64_t h1) {
+    headsProcessedCounter()->add(h1 - h0);
     for (int64_t h = h0; h < h1; ++h) {
         const int64_t kvh = h / group;
         float *probs = cachedProbs_.data() + h * t * t;
@@ -129,6 +145,7 @@ MultiHeadAttention::forward(const Tensor &x)
 Tensor
 MultiHeadAttention::backward(const Tensor &dy)
 {
+    LRD_TRACE_SPAN("attn.backward");
     const int64_t t = dy.dim(0);
     require(cachedProbs_.rank() == 3 && cachedProbs_.dim(1) == t,
             "MultiHeadAttention::backward: no matching forward cached");
@@ -144,6 +161,7 @@ MultiHeadAttention::backward(const Tensor &dy)
     // group run in ascending order, matching the serial accumulation.
     const int64_t group = nHeads_ / kvHeads_;
     parallelFor(0, kvHeads_, 1, [&](int64_t kv0, int64_t kv1) {
+    headsProcessedCounter()->add((kv1 - kv0) * group);
     std::vector<float> dprow(static_cast<size_t>(t));
     for (int64_t h = kv0 * group; h < kv1 * group; ++h) {
         const int64_t kvh = h / group;
@@ -200,6 +218,7 @@ MultiHeadAttention::backward(const Tensor &dy)
 Tensor
 MultiHeadAttention::forwardCached(const Tensor &x, KvCache &cache)
 {
+    LRD_TRACE_SPAN("attn.cached");
     require(x.rank() == 2 && x.dim(1) == dModel_,
             "MultiHeadAttention::forwardCached: bad input");
     const int64_t n = x.dim(0);
@@ -231,6 +250,7 @@ MultiHeadAttention::forwardCached(const Tensor &x, KvCache &cache)
     Tensor ctx({n, dModel_});
     const int64_t group = nHeads_ / kvHeads_;
     parallelFor(0, nHeads_, 1, [&](int64_t h0, int64_t h1) {
+    headsProcessedCounter()->add(h1 - h0);
     std::vector<float> scores(static_cast<size_t>(cache.len));
     for (int64_t h = h0; h < h1; ++h) {
         const int64_t kvh = h / group;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "decomp/tucker.h"
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -10,7 +11,7 @@ namespace lrd {
 
 Linear::Linear(int64_t outDim, int64_t inDim, bool hasBias,
                const std::string &name, Rng &rng)
-    : outDim_(outDim), inDim_(inDim), hasBias_(hasBias)
+    : outDim_(outDim), inDim_(inDim), hasBias_(hasBias), name_(name)
 {
     require(outDim > 0 && inDim > 0, "Linear: dims must be positive");
     const float stddev = 1.0F / std::sqrt(static_cast<float>(inDim));
@@ -26,6 +27,18 @@ Linear::forward(const Tensor &x)
     require(x.rank() == 2 && x.dim(1) == inDim_,
             strCat("Linear::forward: input ", shapeToString(x.shape()),
                    " incompatible with in dim ", inDim_));
+    if (MetricsRegistry::enabled()) {
+        if (!macsCounter_)
+            macsCounter_ = MetricsRegistry::instance().counter(
+                strCat("model.", name_, ".macs"));
+        const int64_t n = x.dim(0);
+        macsCounter_->add(
+            !factorized_
+                ? n * outDim_ * inDim_
+                : n * prunedRank_ * inDim_
+                      + n * prunedRank_ * prunedRank_
+                      + n * outDim_ * prunedRank_);
+    }
     cachedX_ = x;
     Tensor y;
     if (!factorized_) {

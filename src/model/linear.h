@@ -16,6 +16,7 @@
 #ifndef LRD_MODEL_LINEAR_H
 #define LRD_MODEL_LINEAR_H
 
+#include <string>
 #include <vector>
 
 #include "model/parameter.h"
@@ -23,6 +24,8 @@
 #include "util/rng.h"
 
 namespace lrd {
+
+class Counter;
 
 /** Dense-or-factorized linear layer with manual backprop. */
 class Linear
@@ -103,6 +106,9 @@ class Linear
     bool hasBias_;
     bool factorized_ = false;
     int64_t prunedRank_ = 0;
+    std::string name_; ///< Layer name; keys the per-layer MAC counter.
+    /** "model.<name>.macs"; created on first forward with metrics on. */
+    Counter *macsCounter_ = nullptr;
 
     Parameter w_;    ///< Dense (out, in); empty when factorized.
     Parameter u1_;   ///< (out, pr).

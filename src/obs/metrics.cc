@@ -1,0 +1,378 @@
+#include "metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/worker_lane.h"
+
+namespace lrd {
+
+namespace obsdetail {
+
+std::atomic<bool> gMetricsEnabled{false};
+
+namespace {
+
+/** One thread's private cells. Single writer; relaxed atomics make
+ *  snapshot reads race-free. */
+struct Shard
+{
+    int lane = 0;
+    uint64_t seq = 0; ///< Creation order, for deterministic merging.
+    std::array<std::atomic<int64_t>, kMaxCounters> counters{};
+    struct HistCells
+    {
+        std::atomic<int64_t> count{0};
+        std::atomic<int64_t> sum{0};
+        std::array<std::atomic<int64_t>, kHistBuckets> buckets{};
+    };
+    std::array<HistCells, kMaxHistograms> hists{};
+
+    void
+    zero()
+    {
+        for (auto &c : counters)
+            c.store(0, std::memory_order_relaxed);
+        for (auto &h : hists) {
+            h.count.store(0, std::memory_order_relaxed);
+            h.sum.store(0, std::memory_order_relaxed);
+            for (auto &b : h.buckets)
+                b.store(0, std::memory_order_relaxed);
+        }
+    }
+};
+
+/** Registry state behind one mutex; cold paths only. */
+struct State
+{
+    std::mutex mu;
+    std::vector<std::unique_ptr<Shard>> shards; ///< All ever created.
+    std::map<int, std::vector<Shard *>> freeByLane;
+    uint64_t nextSeq = 0;
+    std::vector<std::unique_ptr<Counter>> counters;
+    std::vector<std::unique_ptr<Gauge>> gauges;
+    std::vector<std::unique_ptr<Histogram>> histograms;
+};
+
+State &
+state()
+{
+    // Leaked intentionally: thread-local shard destructors and late
+    // worker writes must outlive any static destruction order.
+    static State *s = new State;
+    return *s;
+}
+
+/** Relaxed single-writer add into a cell. */
+inline void
+cellAdd(std::atomic<int64_t> &cell, int64_t n)
+{
+    cell.store(cell.load(std::memory_order_relaxed) + n,
+               std::memory_order_relaxed);
+}
+
+Shard *
+acquireShard()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    const int lane = workerLane();
+    auto &pool = s.freeByLane[lane];
+    if (!pool.empty()) {
+        Shard *sh = pool.back();
+        pool.pop_back();
+        return sh;
+    }
+    auto sh = std::make_unique<Shard>();
+    sh->lane = lane;
+    sh->seq = s.nextSeq++;
+    Shard *raw = sh.get();
+    s.shards.push_back(std::move(sh));
+    return raw;
+}
+
+void
+releaseShard(Shard *sh)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.freeByLane[sh->lane].push_back(sh);
+}
+
+/** Thread-local shard handle; returns the shard to the lane free
+ *  list on thread exit so pool resizes reuse memory. */
+struct ShardRef
+{
+    Shard *shard = nullptr;
+    ~ShardRef()
+    {
+        if (shard)
+            releaseShard(shard);
+    }
+};
+
+Shard &
+myShard()
+{
+    thread_local ShardRef ref;
+    if (!ref.shard)
+        ref.shard = acquireShard();
+    return *ref.shard;
+}
+
+} // namespace
+
+void
+addToCounterSlot(int slot, int64_t n)
+{
+    cellAdd(myShard().counters[static_cast<size_t>(slot)], n);
+}
+
+void
+recordToHistogramSlot(int slot, int64_t value)
+{
+    auto &h = myShard().hists[static_cast<size_t>(slot)];
+    cellAdd(h.count, 1);
+    cellAdd(h.sum, value);
+    cellAdd(h.buckets[static_cast<size_t>(Histogram::bucketOf(value))], 1);
+}
+
+} // namespace obsdetail
+
+using obsdetail::kHistBuckets;
+using obsdetail::kMaxCounters;
+using obsdetail::kMaxHistograms;
+using obsdetail::state;
+
+int
+Histogram::bucketOf(int64_t value)
+{
+    if (value <= 0)
+        return 0;
+    int b = 1;
+    while (b < kHistBuckets - 1 && value >= (int64_t{1} << b))
+        ++b;
+    return b;
+}
+
+int64_t
+Histogram::bucketLowerBound(int bucket)
+{
+    return bucket <= 0 ? 0 : int64_t{1} << (bucket - 1);
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry *r = new MetricsRegistry;
+    return *r;
+}
+
+void
+MetricsRegistry::setEnabled(bool on)
+{
+    obsdetail::gMetricsEnabled.store(on, std::memory_order_relaxed);
+}
+
+Counter *
+MetricsRegistry::counter(const std::string &name, bool perLane)
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto &c : s.counters)
+        if (c->name() == name)
+            return c.get();
+    require(s.counters.size() < kMaxCounters,
+            "MetricsRegistry: counter slots exhausted");
+    s.counters.push_back(std::unique_ptr<Counter>(new Counter(
+        name, static_cast<int>(s.counters.size()), perLane)));
+    return s.counters.back().get();
+}
+
+Gauge *
+MetricsRegistry::gauge(const std::string &name)
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto &g : s.gauges)
+        if (g->name() == name)
+            return g.get();
+    s.gauges.push_back(std::unique_ptr<Gauge>(new Gauge(name)));
+    return s.gauges.back().get();
+}
+
+Histogram *
+MetricsRegistry::histogram(const std::string &name)
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto &h : s.histograms)
+        if (h->name() == name)
+            return h.get();
+    require(s.histograms.size() < kMaxHistograms,
+            "MetricsRegistry: histogram slots exhausted");
+    s.histograms.push_back(std::unique_ptr<Histogram>(
+        new Histogram(name, static_cast<int>(s.histograms.size()))));
+    return s.histograms.back().get();
+}
+
+int64_t
+Counter::total() const
+{
+    const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+    for (const auto &[n, v] : snap.counters)
+        if (n == name_)
+            return v;
+    return 0;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+
+    // Deterministic merge order: (lane, creation seq).
+    std::vector<obsdetail::Shard *> ordered;
+    ordered.reserve(s.shards.size());
+    for (const auto &sh : s.shards)
+        ordered.push_back(sh.get());
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto *a, const auto *b) {
+                  return a->lane != b->lane ? a->lane < b->lane
+                                            : a->seq < b->seq;
+              });
+    int maxLane = 0;
+    for (const auto *sh : ordered)
+        maxLane = std::max(maxLane, sh->lane);
+
+    MetricsSnapshot out;
+    for (const auto &c : s.counters) {
+        int64_t total = 0;
+        std::vector<int64_t> perLane(static_cast<size_t>(maxLane) + 1, 0);
+        for (const auto *sh : ordered) {
+            const int64_t v =
+                sh->counters[static_cast<size_t>(c->slot_)].load(
+                    std::memory_order_relaxed);
+            total += v;
+            perLane[static_cast<size_t>(sh->lane)] += v;
+        }
+        out.counters.emplace_back(c->name(), total);
+        if (c->perLane_)
+            out.perLaneCounters.emplace_back(c->name(),
+                                             std::move(perLane));
+    }
+    for (const auto &g : s.gauges)
+        out.gauges.emplace_back(g->name(), g->value());
+    for (const auto &h : s.histograms) {
+        HistogramSnapshot hs;
+        for (const auto *sh : ordered) {
+            const auto &cells = sh->hists[static_cast<size_t>(h->slot_)];
+            hs.count += cells.count.load(std::memory_order_relaxed);
+            hs.sum += cells.sum.load(std::memory_order_relaxed);
+            for (int b = 0; b < kHistBuckets; ++b)
+                hs.buckets[static_cast<size_t>(b)] +=
+                    cells.buckets[static_cast<size_t>(b)].load(
+                        std::memory_order_relaxed);
+        }
+        out.histograms.emplace_back(h->name(), hs);
+    }
+    return out;
+}
+
+namespace {
+
+void
+appendJsonString(std::ostringstream &oss, const std::string &sv)
+{
+    oss << '"';
+    for (char ch : sv) {
+        switch (ch) {
+          case '"': oss << "\\\""; break;
+          case '\\': oss << "\\\\"; break;
+          case '\n': oss << "\\n"; break;
+          case '\t': oss << "\\t"; break;
+          default: oss << ch;
+        }
+    }
+    oss << '"';
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::toJson() const
+{
+    const MetricsSnapshot snap = snapshot();
+    std::ostringstream oss;
+    oss << "{\n  \"context\": {\n    \"metricsEnabled\": "
+        << (enabled() ? "true" : "false") << "\n  },\n";
+
+    oss << "  \"counters\": {";
+    for (size_t i = 0; i < snap.counters.size(); ++i) {
+        oss << (i ? ",\n    " : "\n    ");
+        appendJsonString(oss, snap.counters[i].first);
+        oss << ": " << snap.counters[i].second;
+    }
+    oss << (snap.counters.empty() ? "},\n" : "\n  },\n");
+
+    oss << "  \"gauges\": {";
+    for (size_t i = 0; i < snap.gauges.size(); ++i) {
+        oss << (i ? ",\n    " : "\n    ");
+        appendJsonString(oss, snap.gauges[i].first);
+        oss << ": " << snap.gauges[i].second;
+    }
+    oss << (snap.gauges.empty() ? "},\n" : "\n  },\n");
+
+    oss << "  \"histograms\": {";
+    for (size_t i = 0; i < snap.histograms.size(); ++i) {
+        const auto &[name, hs] = snap.histograms[i];
+        oss << (i ? ",\n    " : "\n    ");
+        appendJsonString(oss, name);
+        oss << ": {\"count\": " << hs.count << ", \"sum\": " << hs.sum
+            << ", \"buckets\": {";
+        bool first = true;
+        for (int b = 0; b < kHistBuckets; ++b) {
+            const int64_t n = hs.buckets[static_cast<size_t>(b)];
+            if (n == 0)
+                continue;
+            if (!first)
+                oss << ", ";
+            first = false;
+            oss << '"' << Histogram::bucketLowerBound(b) << "\": " << n;
+        }
+        oss << "}}";
+    }
+    oss << (snap.histograms.empty() ? "},\n" : "\n  },\n");
+
+    oss << "  \"perWorker\": {";
+    for (size_t i = 0; i < snap.perLaneCounters.size(); ++i) {
+        const auto &[name, lanes] = snap.perLaneCounters[i];
+        oss << (i ? ",\n    " : "\n    ");
+        appendJsonString(oss, name);
+        oss << ": [";
+        for (size_t l = 0; l < lanes.size(); ++l)
+            oss << (l ? ", " : "") << lanes[l];
+        oss << ']';
+    }
+    oss << (snap.perLaneCounters.empty() ? "}\n" : "\n  }\n");
+    oss << "}\n";
+    return oss.str();
+}
+
+void
+MetricsRegistry::reset()
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto &sh : s.shards)
+        sh->zero();
+    for (const auto &g : s.gauges)
+        g->set(0.0);
+}
+
+} // namespace lrd

@@ -1,0 +1,82 @@
+#include "obs.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "metrics.h"
+#include "trace.h"
+#include "util/logging.h"
+
+namespace lrd {
+
+namespace {
+std::string g_tracePath;
+std::string g_statsPath;
+} // namespace
+
+const std::string &
+obsTracePath()
+{
+    return g_tracePath;
+}
+
+const std::string &
+obsStatsPath()
+{
+    return g_statsPath;
+}
+
+void
+initObservabilityFromEnv()
+{
+    if (const char *spec = std::getenv("LRD_LOG")) {
+        const LogSpec parsed = parseLogSpec(spec);
+        setLogLevel(parsed.level);
+        setLogTimestamps(parsed.timestamps);
+    }
+    if (const char *path = std::getenv("LRD_TRACE")) {
+        if (path[0] == '\0')
+            fatal("LRD_TRACE: expected a file path");
+        g_tracePath = path;
+        Tracer::instance().setEnabled(true);
+    }
+    if (const char *path = std::getenv("LRD_STATS")) {
+        if (path[0] == '\0')
+            fatal("LRD_STATS: expected a file path (or '-' for stdout)");
+        g_statsPath = path;
+        MetricsRegistry::instance().setEnabled(true);
+    }
+}
+
+void
+flushObservability()
+{
+    if (!g_tracePath.empty()) {
+        Tracer &tracer = Tracer::instance();
+        tracer.writeChromeJson(g_tracePath);
+        tracer.writeCsv(g_tracePath + ".summary.csv");
+        if (tracer.droppedEvents() > 0)
+            warn(strCat("trace ring overflow: ", tracer.droppedEvents(),
+                        " oldest events overwritten"));
+        inform(strCat("wrote trace to ", g_tracePath, " (+ ",
+                      g_tracePath, ".summary.csv)"));
+    }
+    if (!g_statsPath.empty()) {
+        const std::string json = MetricsRegistry::instance().toJson();
+        if (g_statsPath == "-") {
+            std::fputs(json.c_str(), stdout);
+        } else {
+            std::FILE *f = std::fopen(g_statsPath.c_str(), "wb");
+            if (!f) {
+                warn(strCat("cannot open ", g_statsPath,
+                            " for metrics JSON"));
+                return;
+            }
+            std::fputs(json.c_str(), f);
+            std::fclose(f);
+            inform(strCat("wrote metrics to ", g_statsPath));
+        }
+    }
+}
+
+} // namespace lrd

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Process-level observability wiring: environment-variable
+ * configuration and end-of-run artifact flushing.
+ *
+ * Recognized environment variables (read by initObservabilityFromEnv,
+ * which lrdtool calls at startup):
+ *
+ *   LRD_LOG=<level>[+ts]  log level (debug|info|warn|error); "+ts"
+ *                         adds timestamp + worker-index prefixes.
+ *   LRD_TRACE=<file>      enable tracing; flushObservability() writes
+ *                         chrome-trace JSON to <file> and a flat
+ *                         summary to <file>.summary.csv.
+ *   LRD_STATS=<file>      enable metrics; flushObservability() writes
+ *                         the registry JSON to <file> ("-" = stdout).
+ */
+
+#ifndef LRD_OBS_OBS_H
+#define LRD_OBS_OBS_H
+
+#include <string>
+
+namespace lrd {
+
+/**
+ * Apply LRD_LOG / LRD_TRACE / LRD_STATS from the environment.
+ * @throws std::runtime_error (via fatal()) on a malformed LRD_LOG.
+ */
+void initObservabilityFromEnv();
+
+/** Write any trace/stats artifacts requested via the environment. */
+void flushObservability();
+
+/** Paths captured by initObservabilityFromEnv ("" = not requested). */
+const std::string &obsTracePath();
+const std::string &obsStatsPath();
+
+} // namespace lrd
+
+#endif // LRD_OBS_OBS_H

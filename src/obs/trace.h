@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Scoped tracing with chrome://tracing / Perfetto JSON export.
+ *
+ * Usage:
+ *
+ *     LRD_TRACE_SPAN("gemm");                  // span to end of scope
+ *     LRD_TRACE_SPAN("jacobi.sweep", offNorm); // with a numeric arg
+ *
+ * Each span records one complete ("ph":"X") event into the calling
+ * thread's ring buffer; buffers are keyed by workerLane(), so the
+ * exported trace shows one lane per pool worker plus lane 0 for the
+ * main thread. When tracing is disabled (the default) a span is one
+ * relaxed atomic load and a branch; span names must be string
+ * literals (the ring stores the pointer, not a copy).
+ *
+ * Export: toChromeJson() loads directly in chrome://tracing or
+ * https://ui.perfetto.dev; toCsv() is a flat per-name summary
+ * (count / total / min / max / mean microseconds).
+ */
+
+#ifndef LRD_OBS_TRACE_H
+#define LRD_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace lrd {
+
+namespace obsdetail {
+extern std::atomic<bool> gTraceEnabled;
+} // namespace obsdetail
+
+class Tracer
+{
+  public:
+    /** Never destructs (deliberately leaked). */
+    static Tracer &instance();
+
+    static bool
+    enabled()
+    {
+        return obsdetail::gTraceEnabled.load(std::memory_order_relaxed);
+    }
+
+    void setEnabled(bool on);
+
+    /** Nanoseconds since the process trace epoch (steady clock). */
+    static int64_t nowNs();
+
+    /**
+     * Record one complete event on the calling thread's ring buffer.
+     * @param name   Static string (lifetime of the process).
+     * @param tsNs   Span begin, from nowNs().
+     * @param durNs  Span duration.
+     * @param arg    Optional numeric payload (exported under args.v).
+     */
+    void record(const char *name, int64_t tsNs, int64_t durNs,
+                double arg, bool hasArg);
+
+    /** Chrome trace-event JSON ("traceEvents" array format). */
+    std::string toChromeJson() const;
+
+    /** Per-name summary CSV: name,count,total_us,min_us,max_us,mean_us. */
+    std::string toCsv() const;
+
+    /** Write the JSON / CSV renderings; warns on I/O failure. */
+    void writeChromeJson(const std::string &path) const;
+    void writeCsv(const std::string &path) const;
+
+    /** Drop all recorded events (tests, benchmarks). */
+    void clear();
+
+    /** Events lost to ring-buffer wrap-around since the last clear. */
+    int64_t droppedEvents() const;
+
+  private:
+    Tracer() = default;
+};
+
+/** RAII span; prefer the LRD_TRACE_SPAN macro. */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name)
+    {
+        if (Tracer::enabled()) {
+            name_ = name;
+            t0_ = Tracer::nowNs();
+        }
+    }
+
+    TraceSpan(const char *name, double arg)
+    {
+        if (Tracer::enabled()) {
+            name_ = name;
+            arg_ = arg;
+            hasArg_ = true;
+            t0_ = Tracer::nowNs();
+        }
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    ~TraceSpan()
+    {
+        if (name_)
+            Tracer::instance().record(name_, t0_,
+                                      Tracer::nowNs() - t0_, arg_,
+                                      hasArg_);
+    }
+
+  private:
+    const char *name_ = nullptr; ///< Null when tracing was off at entry.
+    int64_t t0_ = 0;
+    double arg_ = 0.0;
+    bool hasArg_ = false;
+};
+
+#define LRD_OBS_CONCAT2(a, b) a##b
+#define LRD_OBS_CONCAT(a, b) LRD_OBS_CONCAT2(a, b)
+
+#ifdef LRD_OBS_DISABLED
+/** Compile-time kill switch: spans vanish entirely. */
+#define LRD_TRACE_SPAN(...) static_cast<void>(0)
+#else
+#define LRD_TRACE_SPAN(...) \
+    ::lrd::TraceSpan LRD_OBS_CONCAT(lrdTraceSpan_, __LINE__)(__VA_ARGS__)
+#endif
+
+} // namespace lrd
+
+#endif // LRD_OBS_TRACE_H

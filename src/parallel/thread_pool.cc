@@ -3,14 +3,14 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/worker_lane.h"
 
 namespace lrd {
 
 namespace {
-
-/** 0 on the posting/external thread, 1..N-1 on pool workers. */
-thread_local int tlWorkerIndex = 0;
 
 /** Set while this thread executes a chunk body or posts a job. */
 thread_local bool tlInParallel = false;
@@ -41,6 +41,12 @@ ThreadPool::instance()
 
 ThreadPool::ThreadPool(int n) : numThreads_(n > 0 ? n : 1)
 {
+    // Resolve metric handles before any worker can run a chunk.
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    chunksCounter_ = reg.counter("pool.chunks", /*perLane=*/true);
+    idleWaitsCounter_ = reg.counter("pool.idleWaits");
+    threadsGauge_ = reg.gauge("pool.threads");
+    threadsGauge_->set(numThreads_);
     spawnWorkers();
 }
 
@@ -52,9 +58,16 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::spawnWorkers()
 {
+    workersStarted_ = 0;
     workers_.reserve(static_cast<size_t>(numThreads_ - 1));
     for (int i = 1; i < numThreads_; ++i)
         workers_.emplace_back([this, i] { workerMain(i); });
+    // Wait for every worker to finish startup (set its lane, record
+    // its trace marker): exported traces then always show one lane
+    // per worker, even for runs that never dispatch a chunk.
+    std::unique_lock<std::mutex> lock(mu_);
+    doneCv_.wait(lock,
+                 [this] { return workersStarted_ == numThreads_ - 1; });
 }
 
 void
@@ -74,7 +87,7 @@ ThreadPool::joinWorkers()
 void
 ThreadPool::resize(int n)
 {
-    require(!tlInParallel && tlWorkerIndex == 0,
+    require(!tlInParallel && workerLane() == 0,
             "ThreadPool::resize: cannot resize from inside a parallel "
             "region");
     require(n >= 1, "ThreadPool::resize: thread count must be >= 1");
@@ -87,13 +100,14 @@ ThreadPool::resize(int n)
         return;
     joinWorkers();
     numThreads_ = n;
+    threadsGauge_->set(numThreads_);
     spawnWorkers();
 }
 
 int
 ThreadPool::workerIndex()
 {
-    return tlWorkerIndex;
+    return workerLane();
 }
 
 bool
@@ -122,8 +136,10 @@ ThreadPool::runAvailableChunks(std::unique_lock<std::mutex> &lock)
         lock.unlock();
         const bool wasIn = tlInParallel;
         tlInParallel = true;
+        chunksCounter_->inc();
         std::exception_ptr error;
         try {
+            LRD_TRACE_SPAN("pool.chunk");
             (*body)(chunk, lo, hi);
         } catch (...) {
             error = std::current_exception();
@@ -142,12 +158,20 @@ ThreadPool::runAvailableChunks(std::unique_lock<std::mutex> &lock)
 void
 ThreadPool::workerMain(int index)
 {
-    tlWorkerIndex = index;
+    setWorkerLane(index);
+    // A zero-length marker event puts one lane per worker into the
+    // exported trace even when this worker never receives a chunk.
+    if (Tracer::enabled())
+        Tracer::instance().record("pool.workerStart", Tracer::nowNs(),
+                                  0, 0.0, false);
     std::unique_lock<std::mutex> lock(mu_);
+    ++workersStarted_;
+    doneCv_.notify_all();
     for (;;) {
         runAvailableChunks(lock);
         if (shutdown_)
             return;
+        idleWaitsCounter_->inc();
         workCv_.wait(lock, [this] {
             return shutdown_
                    || (body_ != nullptr && nextChunk_ < jobChunks_);
@@ -168,12 +192,14 @@ ThreadPool::parallelForChunks(int64_t begin, int64_t end, int64_t grain,
     // from inside a running region. Chunk boundaries are identical to
     // the parallel path, so results are bitwise the same.
     if (chunks == 1 || numThreads_ == 1 || tlInParallel
-        || tlWorkerIndex != 0) {
+        || workerLane() != 0) {
         const bool wasIn = tlInParallel;
         tlInParallel = true;
         try {
             for (int64_t c = 0; c < chunks; ++c) {
                 const int64_t lo = begin + c * g;
+                chunksCounter_->inc();
+                LRD_TRACE_SPAN("pool.chunk");
                 body(c, lo, std::min(end, lo + g));
             }
         } catch (...) {

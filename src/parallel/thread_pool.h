@@ -32,6 +32,9 @@
 
 namespace lrd {
 
+class Counter;
+class Gauge;
+
 /** Body of a parallel region: fn(chunkIndex, lo, hi) over [lo, hi). */
 using ChunkFn = std::function<void(int64_t, int64_t, int64_t)>;
 
@@ -115,7 +118,16 @@ class ThreadPool
 
     bool shutdown_ = false;
     int numThreads_ = 1;
+    /** Workers that have finished startup (lane + trace marker);
+     *  spawnWorkers blocks until all have checked in. */
+    int workersStarted_ = 0;
     std::vector<std::thread> workers_;
+
+    // Metric handles, resolved once in the constructor (before any
+    // worker spawns) so the hot path never touches the registry lock.
+    Counter *chunksCounter_ = nullptr;    ///< "pool.chunks" (per lane).
+    Counter *idleWaitsCounter_ = nullptr; ///< "pool.idleWaits".
+    Gauge *threadsGauge_ = nullptr;       ///< "pool.threads".
 };
 
 /** parallelFor on the global pool. */

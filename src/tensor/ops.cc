@@ -5,12 +5,36 @@
 #include <limits>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "util/logging.h"
 
 namespace lrd {
 
 namespace {
+
+/** Cached handles for the GEMM counters (one registry lookup ever). */
+struct GemmCounters
+{
+    Counter *calls;
+    Counter *macs;
+    Counter *packedBytesA;
+    Counter *packedBytesB;
+};
+
+GemmCounters &
+gemmCounters()
+{
+    static GemmCounters gc = [] {
+        MetricsRegistry &reg = MetricsRegistry::instance();
+        return GemmCounters{reg.counter("gemm.calls"),
+                            reg.counter("gemm.macs"),
+                            reg.counter("gemm.packedBytesA"),
+                            reg.counter("gemm.packedBytesB")};
+    }();
+    return gc;
+}
 
 void
 checkSameShape(const Tensor &a, const Tensor &b, const char *what)
@@ -139,6 +163,9 @@ blockedGemm(const AccessA &a, const AccessB &b, float *c, int64_t m,
             const int64_t kc = std::min(kKc, k - pc);
             // B pack is shared read-only by all row chunks.
             packBPanels(b, pc, jc, kc, nc, bpack.data());
+            gemmCounters().packedBytesB->add(
+                (nc + kNr - 1) / kNr * kNr * kc
+                * static_cast<int64_t>(sizeof(float)));
             const bool addInto = accumulate || pc > 0;
 
             parallelFor(0, rowChunks, 1, [&](int64_t c0, int64_t c1) {
@@ -148,6 +175,9 @@ blockedGemm(const AccessA &a, const AccessB &b, float *c, int64_t m,
                     const int64_t ic = rc * kRowChunk;
                     const int64_t mc = std::min(kRowChunk, m - ic);
                     packAPanels(a, ic, pc, mc, kc, apack.data());
+                    gemmCounters().packedBytesA->add(
+                        (mc + kMr - 1) / kMr * kMr * kc
+                        * static_cast<int64_t>(sizeof(float)));
                     for (int64_t jr = 0; jr < nc; jr += kNr) {
                         const float *bp =
                             bpack.data() + (jr / kNr) * kNr * kc;
@@ -256,6 +286,10 @@ void
 gemm(const float *a, const float *b, float *c, int64_t m, int64_t k,
      int64_t n, bool accumulate)
 {
+    LRD_TRACE_SPAN("gemm");
+    GemmCounters &gc = gemmCounters();
+    gc.calls->inc();
+    gc.macs->add(m * k * n);
     if (useBlockedGemm(m, k, n)) {
         blockedGemm([a, k](int64_t i, int64_t p) { return a[i * k + p]; },
                     [b, n](int64_t p, int64_t j) { return b[p * n + j]; },
@@ -286,6 +320,10 @@ void
 gemmTransB(const float *a, const float *b, float *c, int64_t m, int64_t k,
            int64_t n, bool accumulate)
 {
+    LRD_TRACE_SPAN("gemmTransB");
+    GemmCounters &gc = gemmCounters();
+    gc.calls->inc();
+    gc.macs->add(m * k * n);
     if (useBlockedGemm(m, k, n)) {
         blockedGemm([a, k](int64_t i, int64_t p) { return a[i * k + p]; },
                     [b, k](int64_t p, int64_t j) { return b[j * k + p]; },
@@ -310,6 +348,10 @@ void
 gemmTransA(const float *a, const float *b, float *c, int64_t m, int64_t k,
            int64_t n, bool accumulate)
 {
+    LRD_TRACE_SPAN("gemmTransA");
+    GemmCounters &gc = gemmCounters();
+    gc.calls->inc();
+    gc.macs->add(m * k * n);
     // c (k x n) = sum_i a[i][:]^T outer b[i][:].
     if (useBlockedGemm(k, m, n)) {
         blockedGemm([a, k](int64_t i, int64_t p) { return a[p * k + i]; },

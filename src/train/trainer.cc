@@ -3,6 +3,8 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -106,7 +108,11 @@ Trainer::run()
         static_cast<size_t>(opts_.batchSeqs));
     std::vector<double> itemLoss(static_cast<size_t>(opts_.batchSeqs));
 
+    static Counter *stepCounter =
+        MetricsRegistry::instance().counter("train.steps");
     for (int step = 0; step < opts_.steps; ++step) {
+        LRD_TRACE_SPAN("train.step");
+        stepCounter->inc();
         for (int b = 0; b < opts_.batchSeqs; ++b)
             makeExample(tokens[static_cast<size_t>(b)],
                         targets[static_cast<size_t>(b)]);
@@ -131,6 +137,7 @@ Trainer::run()
                                       : *replicas[w];
             const auto params = m.parameters();
             for (int64_t b = lo; b < hi; ++b) {
+                LRD_TRACE_SPAN("train.item");
                 m.zeroGrad();
                 itemLoss[static_cast<size_t>(b)] = m.lossAndGrad(
                     tokens[static_cast<size_t>(b)],

@@ -22,9 +22,36 @@ namespace lrd {
 /** Severity levels for log output. */
 enum class LogLevel { Debug, Info, Warn, Error };
 
-/** Global minimum level actually printed (default: Info). */
+/**
+ * Global minimum level actually printed (default: Info). The level is
+ * stored atomically: pool workers log concurrently with tests or the
+ * CLI adjusting verbosity.
+ */
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
+
+/**
+ * Prefix every log line with elapsed seconds and the worker lane,
+ * e.g. "[  1.042s w3] info: ...". Off by default; enabled by the
+ * "+ts" suffix of LRD_LOG (see parseLogSpec).
+ */
+void setLogTimestamps(bool on);
+bool logTimestamps();
+
+/** A parsed LRD_LOG specification. */
+struct LogSpec
+{
+    LogLevel level = LogLevel::Info;
+    bool timestamps = false;
+};
+
+/**
+ * Parse an LRD_LOG value: one of debug|info|warn|error, optionally
+ * suffixed with "+ts" to enable timestamp + worker-index prefixes
+ * (e.g. "debug+ts").
+ * @throws std::runtime_error (via fatal()) on unknown values.
+ */
+LogSpec parseLogSpec(const std::string &spec);
 
 /** Print an informational message to stderr (when level permits). */
 void inform(const std::string &msg);

@@ -19,6 +19,7 @@
 #include "eval/evaluator.h"
 #include "linalg/linalg.h"
 #include "model/config.h"
+#include "obs/metrics.h"
 #include "parallel/thread_pool.h"
 #include "tensor/ops.h"
 #include "train/model_zoo.h"
@@ -28,6 +29,13 @@ namespace lrd {
 namespace {
 
 constexpr int kManyThreads = 8;
+
+// The whole suite runs with metrics recording on: the instrumented
+// hot paths must not perturb numeric results at any thread count.
+const bool kMetricsOn = [] {
+    MetricsRegistry::instance().setEnabled(true);
+    return true;
+}();
 
 /** Run fn with the pool at n threads, restoring nothing: each test
  *  sets the count it needs explicitly. */

@@ -11,23 +11,36 @@
  *   lrdtool profile <preset> [percent]    A100 latency/energy/memory
  *   lrdtool breakeven <H> <W>             largest compressing rank
  *   lrdtool eval [percent]                benchmark the tiny stand-in
+ *   lrdtool stats [percent]               decompose + eval the tiny
+ *                                         stand-in, dump metrics JSON
  *
  * Presets: llama2-7b, llama2-70b, bert-base, bert-large, tiny-llama,
  * tiny-bert.
+ *
+ * Environment: LRD_THREADS, LRD_LOG, LRD_TRACE, LRD_STATS (see
+ * usage()).
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "decomp/tucker.h"
 #include "util/logging.h"
 #include "dse/design_space.h"
 #include "dse/schedules.h"
 #include "eval/evaluator.h"
+#include "hw/opcount.h"
 #include "hw/roofline.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "parallel/thread_pool.h"
 #include "train/model_zoo.h"
+#include "util/table.h"
 
 using namespace lrd;
 
@@ -150,6 +163,51 @@ cmdProfile(const std::string &preset, double percent)
     std::printf("  decode   %.0f tok/s\n", est.tokensPerSec);
     std::printf("  energy   %.1f J\n", est.energyJoules);
     std::printf("  memory   %.2f GB\n", est.memBytes / 1e9);
+
+    // Per-layer time/MAC breakdown of one prefill-shaped forward
+    // pass; "layer<l>.<op>" rows are folded into one row per layer.
+    WorkloadParams wp;
+    wp.batch = wl.batch;
+    wp.seqLen = wl.promptLen;
+    struct LayerCost
+    {
+        int64_t macs = 0;
+        int64_t bytes = 0;
+    };
+    std::vector<std::pair<std::string, LayerCost>> layers;
+    std::map<std::string, size_t> layerIndex;
+    for (const OpProfile &op : profileTransformer(cfg, gamma, wp)) {
+        const size_t dot = op.name.find('.');
+        const std::string label =
+            dot == std::string::npos ? op.name : op.name.substr(0, dot);
+        auto [it, inserted] =
+            layerIndex.try_emplace(label, layers.size());
+        if (inserted)
+            layers.push_back({label, {}});
+        LayerCost &cost = layers[it->second].second;
+        cost.macs += op.macs;
+        cost.bytes += op.weightBytes;
+    }
+    double totalSec = 0.0;
+    for (const auto &[label, cost] : layers)
+        totalSec += roofline(cost.macs, cost.bytes, dev).latencySec;
+
+    TablePrinter table("Per-layer breakdown (prefill, roofline)");
+    table.setHeader({"layer", "MACs (G)", "weights (MB)", "time (ms)",
+                     "share (%)"});
+    for (const auto &[label, cost] : layers) {
+        const double sec = roofline(cost.macs, cost.bytes, dev).latencySec;
+        table.addRow({label,
+                      TablePrinter::num(static_cast<double>(cost.macs) / 1e9),
+                      TablePrinter::num(static_cast<double>(cost.bytes) / 1e6,
+                                        2),
+                      TablePrinter::num(sec * 1e3),
+                      TablePrinter::num(
+                          totalSec > 0.0 ? 100.0 * sec / totalSec : 0.0,
+                          1)});
+    }
+    std::printf("\n");
+    table.print();
     return 0;
 }
 
@@ -193,6 +251,36 @@ cmdEval(double percent)
     return 0;
 }
 
+/**
+ * Decompose + briefly evaluate the tiny stand-in model with metrics
+ * forced on, then dump the registry JSON to stdout. Exercises the
+ * Jacobi sweeps (via Tucker factorization) and the per-layer GEMM MAC
+ * counters, so the output covers every metric family.
+ */
+int
+cmdStats(double percent)
+{
+    MetricsRegistry::instance().setEnabled(true);
+    TransformerModel model = pretrainedTinyLlama();
+    const ModelConfig cfg = model.config();
+    const DecompConfig gamma =
+        percent > 0.0 ? scheduleForReduction(cfg, percent / 100.0)
+                      : DecompConfig::identity();
+    if (!gamma.empty()) {
+        inform(strCat("stats: applying ", gamma.describe()));
+        gamma.applyTo(model);
+    }
+    Evaluator ev(model, defaultWorld(), EvalOptions{24, 777, false});
+    const EvalResult r = ev.run(allBenchmarks().front());
+    inform(strCat("stats: scored ", r.numTasks, " items (accuracy ",
+                  r.accuracy, ")"));
+    // With LRD_STATS set, flushObservability() writes the registry;
+    // printing here too would emit the JSON twice.
+    if (obsStatsPath().empty())
+        std::printf("%s", MetricsRegistry::instance().toJson().c_str());
+    return 0;
+}
+
 void
 usage()
 {
@@ -203,7 +291,17 @@ usage()
         "  schedule <preset> <reduction-percent>\n"
         "  profile <preset> [reduction-percent]\n"
         "  breakeven <H> <W>\n"
-        "  eval [reduction-percent]\n");
+        "  eval [reduction-percent]\n"
+        "  stats [reduction-percent]     (default 50)\n"
+        "environment:\n"
+        "  LRD_THREADS=<n>     thread-pool size (default: all cores)\n"
+        "  LRD_LOG=<level>[+ts]  debug|info|warn|error; +ts adds\n"
+        "                      timestamp / worker prefixes\n"
+        "  LRD_TRACE=<file>    write chrome://tracing JSON (and\n"
+        "                      <file>.summary.csv) on exit\n"
+        "  LRD_STATS=<file>    write metrics-registry JSON on exit\n"
+        "                      ('-' = stdout)\n"
+        "  LRD_SANITIZE        build-time option (see CMakeLists.txt)\n");
 }
 
 } // namespace
@@ -217,22 +315,36 @@ main(int argc, char **argv)
     }
     const std::string cmd = argv[1];
     try {
+        initObservabilityFromEnv();
+        // With tracing on, spawn the pool up front so every worker
+        // emits its lane marker even for purely analytic commands.
+        if (Tracer::enabled())
+            ThreadPool::instance();
+
+        int ret = -1;
         if (cmd == "info" && argc >= 3)
-            return cmdInfo(argv[2]);
-        if (cmd == "designspace" && argc >= 3)
-            return cmdDesignSpace(argv[2]);
-        if (cmd == "schedule" && argc >= 4)
-            return cmdSchedule(argv[2], std::atof(argv[3]));
-        if (cmd == "profile" && argc >= 3)
-            return cmdProfile(argv[2],
-                              argc >= 4 ? std::atof(argv[3]) : 0.0);
-        if (cmd == "breakeven" && argc >= 4)
-            return cmdBreakEven(std::atoll(argv[2]),
-                                std::atoll(argv[3]));
-        if (cmd == "eval")
-            return cmdEval(argc >= 3 ? std::atof(argv[2]) : 0.0);
+            ret = cmdInfo(argv[2]);
+        else if (cmd == "designspace" && argc >= 3)
+            ret = cmdDesignSpace(argv[2]);
+        else if (cmd == "schedule" && argc >= 4)
+            ret = cmdSchedule(argv[2], std::atof(argv[3]));
+        else if (cmd == "profile" && argc >= 3)
+            ret = cmdProfile(argv[2],
+                             argc >= 4 ? std::atof(argv[3]) : 0.0);
+        else if (cmd == "breakeven" && argc >= 4)
+            ret = cmdBreakEven(std::atoll(argv[2]),
+                               std::atoll(argv[3]));
+        else if (cmd == "eval")
+            ret = cmdEval(argc >= 3 ? std::atof(argv[2]) : 0.0);
+        else if (cmd == "stats")
+            ret = cmdStats(argc >= 3 ? std::atof(argv[2]) : 50.0);
+        if (ret >= 0) {
+            flushObservability();
+            return ret;
+        }
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
+        flushObservability();
         return 1;
     }
     usage();
