@@ -13,7 +13,7 @@
 
 #include <string>
 
-#include "dse/decomp_config.h"
+#include "model/decomp_config.h"
 #include "eval/evaluator.h"
 #include "hw/roofline.h"
 #include "train/model_zoo.h"

@@ -128,8 +128,7 @@ void
 threadSweepArgs(benchmark::internal::Benchmark *b)
 {
     b->Arg(1)->Arg(2)->Arg(4);
-    const int hw =
-        static_cast<int>(std::thread::hardware_concurrency());
+    const int hw = hardwareConcurrency();
     if (hw > 4)
         b->Arg(hw);
 }

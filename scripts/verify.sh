@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification: clean Release build + full ctest, then a
-# ThreadSanitizer build that re-runs the determinism suite (the
-# thread-pool usage TSan must see clean) and the observability suite
-# (metric shards, trace rings, and the atomic log level must be
-# race-free when pool workers record concurrently).
+# Tier-1 verification: clean Release build + full ctest, the lrd-lint
+# static-analysis gate, a ThreadSanitizer build that re-runs the
+# determinism + observability suites, and a UBSan build of the same
+# two suites (signed overflow / misaligned loads in the packed GEMM
+# kernels would surface here). clang-tidy runs advisorily when the
+# tool is installed.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -16,10 +17,28 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+echo "== lint: lrd-lint over src/ tools/ tests/ bench/ =="
+cmake --build build -j --target lrd-lint
+./build/tools/lint/lrd-lint --root "${repo_root}"
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy (advisory; findings reviewed, not blocking) =="
+    run-clang-tidy -quiet -p build "${repo_root}/src" "${repo_root}/tools" \
+        || echo "clang-tidy reported findings (advisory)"
+else
+    echo "== clang-tidy not installed; skipping advisory pass =="
+fi
+
 echo "== TSan: determinism + obs suites under -fsanitize=thread =="
 cmake -B build-tsan -S . -DLRD_SANITIZE=thread
 cmake --build build-tsan -j --target determinism_test obs_test
 ./build-tsan/tests/determinism_test
 ./build-tsan/tests/obs_test
+
+echo "== UBSan: determinism + obs suites under -fsanitize=undefined =="
+cmake -B build-ubsan -S . -DLRD_SANITIZE=undefined
+cmake --build build-ubsan -j --target determinism_test obs_test
+./build-ubsan/tests/determinism_test
+./build-ubsan/tests/obs_test
 
 echo "verify: OK"

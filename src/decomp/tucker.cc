@@ -178,7 +178,8 @@ breakEvenRank(int64_t h, int64_t w)
 {
     const double hw = static_cast<double>(h) + static_cast<double>(w);
     const double disc =
-        std::sqrt(hw * hw + 4.0 * static_cast<double>(h) * w);
+        std::sqrt(hw * hw +
+                  4.0 * static_cast<double>(h) * static_cast<double>(w));
     const double bound = (disc - hw) / 2.0;
     // Strictly-less-than bound: the largest integer rank that still
     // reduces parameters.

@@ -13,7 +13,7 @@
 
 #include <map>
 
-#include "dse/decomp_config.h"
+#include "model/decomp_config.h"
 
 namespace lrd {
 

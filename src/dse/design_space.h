@@ -15,7 +15,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "dse/decomp_config.h"
+#include "model/decomp_config.h"
 
 namespace lrd {
 

@@ -16,7 +16,7 @@
 
 #include <vector>
 
-#include "dse/decomp_config.h"
+#include "model/decomp_config.h"
 #include "eval/evaluator.h"
 #include "hw/roofline.h"
 #include "train/world.h"

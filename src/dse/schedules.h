@@ -11,7 +11,7 @@
 
 #include <vector>
 
-#include "dse/decomp_config.h"
+#include "model/decomp_config.h"
 
 namespace lrd {
 

@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "dse/decomp_config.h"
+#include "model/decomp_config.h"
 #include "model/config.h"
 
 namespace lrd {

@@ -39,9 +39,12 @@ memoryFootprintBytes(const ModelConfig &cfg, const DecompConfig &gamma,
     // Activation workspace: a few residual-width buffers plus the
     // logits for one forward of the prompt.
     const double acts =
-        static_cast<double>(wl.batch) * wl.promptLen
-            * (4.0 * cfg.dModel + cfg.dFf) * wl.bytesPerParam
-        + static_cast<double>(wl.batch) * cfg.vocabSize * wl.bytesPerParam;
+        static_cast<double>(wl.batch) * static_cast<double>(wl.promptLen)
+            * (4.0 * static_cast<double>(cfg.dModel) +
+               static_cast<double>(cfg.dFf))
+            * wl.bytesPerParam
+        + static_cast<double>(wl.batch) * static_cast<double>(cfg.vocabSize)
+            * wl.bytesPerParam;
     return weights + kv + acts + kRuntimeOverheadBytes;
 }
 

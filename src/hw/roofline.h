@@ -12,7 +12,7 @@
 #ifndef LRD_HW_ROOFLINE_H
 #define LRD_HW_ROOFLINE_H
 
-#include "dse/decomp_config.h"
+#include "model/decomp_config.h"
 #include "hw/device.h"
 #include "hw/opcount.h"
 

@@ -61,7 +61,8 @@ MultiHeadAttention::applyRope(Tensor &qk, int64_t startPos, bool inverse,
             float *head = row + h * headDim_;
             for (int64_t d = 0; d < headDim_; d += 2) {
                 const double freq = std::pow(
-                    10000.0, -static_cast<double>(d) / headDim_);
+                    10000.0,
+                    -static_cast<double>(d) / static_cast<double>(headDim_));
                 double angle = p * freq;
                 if (inverse)
                     angle = -angle;

@@ -10,8 +10,8 @@
  * for the general Definition 3 form.
  */
 
-#ifndef LRD_DSE_DECOMP_CONFIG_H
-#define LRD_DSE_DECOMP_CONFIG_H
+#ifndef LRD_MODEL_DECOMP_CONFIG_H
+#define LRD_MODEL_DECOMP_CONFIG_H
 
 #include <map>
 #include <string>
@@ -93,4 +93,4 @@ struct DecompConfig
 
 } // namespace lrd
 
-#endif // LRD_DSE_DECOMP_CONFIG_H
+#endif // LRD_MODEL_DECOMP_CONFIG_H

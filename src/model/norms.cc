@@ -27,7 +27,9 @@ RmsNorm::forward(const Tensor &x)
         for (int64_t j = 0; j < dim_; ++j)
             ms += static_cast<double>(row[j]) * row[j];
         const float inv =
-            1.0F / std::sqrt(static_cast<float>(ms / dim_) + kEps);
+            1.0F /
+            std::sqrt(static_cast<float>(ms / static_cast<double>(dim_)) +
+                      kEps);
         cachedInvRms_[static_cast<size_t>(i)] = inv;
         float *out = y.data() + i * dim_;
         for (int64_t j = 0; j < dim_; ++j)
@@ -89,13 +91,13 @@ LayerNorm::forward(const Tensor &x)
         double mean = 0.0;
         for (int64_t j = 0; j < dim_; ++j)
             mean += row[j];
-        mean /= dim_;
+        mean /= static_cast<double>(dim_);
         double var = 0.0;
         for (int64_t j = 0; j < dim_; ++j) {
             const double d = row[j] - mean;
             var += d * d;
         }
-        var /= dim_;
+        var /= static_cast<double>(dim_);
         const float inv = 1.0F / std::sqrt(static_cast<float>(var) + kEps);
         cachedInvStd_[static_cast<size_t>(i)] = inv;
         float *xhat = cachedXhat_.data() + i * dim_;
@@ -128,8 +130,8 @@ LayerNorm::backward(const Tensor &dy)
             w_.grad[j] += dyrow[j] * xhat[j];
             b_.grad[j] += dyrow[j];
         }
-        meanDxhat /= dim_;
-        meanDxhatXhat /= dim_;
+        meanDxhat /= static_cast<double>(dim_);
+        meanDxhatXhat /= static_cast<double>(dim_);
         for (int64_t j = 0; j < dim_; ++j) {
             const double dxhat = static_cast<double>(dyrow[j]) * w_.value[j];
             dxrow[j] = static_cast<float>(

@@ -10,20 +10,35 @@
 namespace lrd {
 
 namespace {
-std::string g_tracePath;
-std::string g_statsPath;
+
+/** Export destinations, set once by initObservabilityFromEnv() on the
+ *  main thread before any worker spawns (leaked: flush may run from
+ *  atexit, after static destructors would have torn a global down). */
+struct ObsPaths
+{
+    std::string trace;
+    std::string stats;
+};
+
+ObsPaths &
+obsPaths()
+{
+    static ObsPaths *p = new ObsPaths;
+    return *p;
+}
+
 } // namespace
 
 const std::string &
 obsTracePath()
 {
-    return g_tracePath;
+    return obsPaths().trace;
 }
 
 const std::string &
 obsStatsPath()
 {
-    return g_statsPath;
+    return obsPaths().stats;
 }
 
 void
@@ -37,13 +52,13 @@ initObservabilityFromEnv()
     if (const char *path = std::getenv("LRD_TRACE")) {
         if (path[0] == '\0')
             fatal("LRD_TRACE: expected a file path");
-        g_tracePath = path;
+        obsPaths().trace = path;
         Tracer::instance().setEnabled(true);
     }
     if (const char *path = std::getenv("LRD_STATS")) {
         if (path[0] == '\0')
             fatal("LRD_STATS: expected a file path (or '-' for stdout)");
-        g_statsPath = path;
+        obsPaths().stats = path;
         MetricsRegistry::instance().setEnabled(true);
     }
 }
@@ -51,30 +66,30 @@ initObservabilityFromEnv()
 void
 flushObservability()
 {
-    if (!g_tracePath.empty()) {
+    if (!obsPaths().trace.empty()) {
         Tracer &tracer = Tracer::instance();
-        tracer.writeChromeJson(g_tracePath);
-        tracer.writeCsv(g_tracePath + ".summary.csv");
+        tracer.writeChromeJson(obsPaths().trace);
+        tracer.writeCsv(obsPaths().trace + ".summary.csv");
         if (tracer.droppedEvents() > 0)
             warn(strCat("trace ring overflow: ", tracer.droppedEvents(),
                         " oldest events overwritten"));
-        inform(strCat("wrote trace to ", g_tracePath, " (+ ",
-                      g_tracePath, ".summary.csv)"));
+        inform(strCat("wrote trace to ", obsPaths().trace, " (+ ",
+                      obsPaths().trace, ".summary.csv)"));
     }
-    if (!g_statsPath.empty()) {
+    if (!obsPaths().stats.empty()) {
         const std::string json = MetricsRegistry::instance().toJson();
-        if (g_statsPath == "-") {
+        if (obsPaths().stats == "-") {
             std::fputs(json.c_str(), stdout);
         } else {
-            std::FILE *f = std::fopen(g_statsPath.c_str(), "wb");
+            std::FILE *f = std::fopen(obsPaths().stats.c_str(), "wb");
             if (!f) {
-                warn(strCat("cannot open ", g_statsPath,
+                warn(strCat("cannot open ", obsPaths().stats,
                             " for metrics JSON"));
                 return;
             }
             std::fputs(json.c_str(), f);
             std::fclose(f);
-            inform(strCat("wrote metrics to ", g_statsPath));
+            inform(strCat("wrote metrics to ", obsPaths().stats));
         }
     }
 }

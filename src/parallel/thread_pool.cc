@@ -263,4 +263,11 @@ parallelWorkers()
     return ThreadPool::instance().numThreads();
 }
 
+int
+hardwareConcurrency()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
 } // namespace lrd

@@ -141,6 +141,13 @@ void parallelForChunks(int64_t begin, int64_t end, int64_t grain,
 /** Thread count of the global pool. */
 int parallelWorkers();
 
+/**
+ * Hardware thread count (>= 1). The one sanctioned way to ask the
+ * machine for its concurrency outside src/parallel/ — everything
+ * else about threading goes through the pool.
+ */
+int hardwareConcurrency();
+
 } // namespace lrd
 
 #endif // LRD_PARALLEL_THREAD_POOL_H

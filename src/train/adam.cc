@@ -65,10 +65,11 @@ cosineSchedule(int64_t step, int64_t warmupSteps, int64_t totalSteps,
 {
     require(totalSteps > 0, "cosineSchedule: totalSteps must be positive");
     if (warmupSteps > 0 && step < warmupSteps)
-        return static_cast<double>(step + 1) / warmupSteps;
+        return static_cast<double>(step + 1) /
+               static_cast<double>(warmupSteps);
     const double progress =
         static_cast<double>(step - warmupSteps)
-        / std::max<int64_t>(1, totalSteps - warmupSteps);
+        / static_cast<double>(std::max<int64_t>(1, totalSteps - warmupSteps));
     const double clamped = std::min(1.0, std::max(0.0, progress));
     return minScale
            + (1.0 - minScale) * 0.5 * (1.0 + std::cos(M_PI * clamped));

@@ -88,7 +88,7 @@ std::string
 strCat(Args &&...args)
 {
     std::ostringstream oss;
-    (oss << ... << args);
+    static_cast<void>((oss << ... << args));
     return oss.str();
 }
 

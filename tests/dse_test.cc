@@ -12,7 +12,7 @@
 #include <cmath>
 #include <set>
 
-#include "dse/decomp_config.h"
+#include "model/decomp_config.h"
 #include "dse/design_space.h"
 #include "dse/schedules.h"
 

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Fixture-snippet coverage for every lrd-lint rule: one positive hit
+ * per rule, the suppression comment, exemption paths, layering
+ * back-edge detection, and include-cycle path printing.
+ *
+ * The fixtures feed (path, content) pairs straight into the lint
+ * library, so the tests exercise exactly the code the CLI runs on
+ * the real tree.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+
+namespace lrd::lint {
+namespace {
+
+std::vector<Diagnostic>
+lintSnippet(const std::string &path, const std::string &content)
+{
+    return lintFile(SourceFile{path, content});
+}
+
+bool
+hasRule(const std::vector<Diagnostic> &diags, const std::string &rule)
+{
+    return std::any_of(diags.begin(), diags.end(),
+                       [&](const Diagnostic &d) { return d.rule == rule; });
+}
+
+const Diagnostic *
+findRule(const std::vector<Diagnostic> &diags, const std::string &rule)
+{
+    for (const Diagnostic &d : diags)
+        if (d.rule == rule)
+            return &d;
+    return nullptr;
+}
+
+// ---------------------------------------------------------------- random
+
+TEST(LintRandom, FlagsRandAndRandomDevice)
+{
+    const auto diags = lintSnippet("src/linalg/linalg.cc", R"(
+        int noisy() { return rand(); }
+        int seedy() { std::random_device rd; return rd(); }
+    )");
+    ASSERT_TRUE(hasRule(diags, kRuleBannedRandom));
+    EXPECT_EQ(2u, diags.size());
+}
+
+TEST(LintRandom, RngModuleIsExempt)
+{
+    const auto diags = lintSnippet("src/util/rng.cc", R"(
+        unsigned seed() { std::random_device rd; return rd(); }
+    )");
+    EXPECT_FALSE(hasRule(diags, kRuleBannedRandom));
+}
+
+TEST(LintRandom, StringAndCommentOccurrencesIgnored)
+{
+    const auto diags = lintSnippet("src/eval/evaluator.cc", R"__(
+        // rand() would break determinism here.
+        const char *kMsg = "never call srand()";
+    )__");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRandom, SuppressionCommentSilencesTheLine)
+{
+    const auto diags = lintSnippet("src/eval/evaluator.cc", R"(
+        void f() {
+            int a = rand(); // lrd-lint: allow(banned-random)
+            // lrd-lint: allow(banned-random)
+            int b = rand();
+            int c = rand();
+        }
+    )");
+    ASSERT_EQ(1u, diags.size()); // only 'c' survives
+    EXPECT_EQ(kRuleBannedRandom, diags[0].rule);
+}
+
+// ------------------------------------------------------------- wall clock
+
+TEST(LintWallClock, FlagsSystemClockAndTimeCalls)
+{
+    const auto diags = lintSnippet("src/train/trainer.cc", R"(
+        void f() {
+            auto t0 = std::chrono::system_clock::now();
+            long t1 = time(nullptr);
+        }
+    )");
+    EXPECT_EQ(2u, diags.size());
+    EXPECT_TRUE(hasRule(diags, kRuleWallClock));
+}
+
+TEST(LintWallClock, SteadyClockAndMemberTimeAreFine)
+{
+    const auto diags = lintSnippet("src/train/trainer.cc", R"(
+        void f() {
+            auto t0 = std::chrono::steady_clock::now();
+            double t1 = timer.time();
+        }
+    )");
+    EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------- unordered containers
+
+TEST(LintUnordered, FlaggedInNumericCoreModules)
+{
+    const auto diags = lintSnippet("src/tensor/ops.cc", R"(
+        std::unordered_map<int, double> partials;
+    )");
+    ASSERT_TRUE(hasRule(diags, kRuleUnordered));
+}
+
+TEST(LintUnordered, AllowedOutsideTheNumericCore)
+{
+    const auto diags = lintSnippet("src/eval/evaluator.cc", R"(
+        std::unordered_map<int, double> lookupOnly;
+    )");
+    EXPECT_FALSE(hasRule(diags, kRuleUnordered));
+}
+
+// -------------------------------------------------------------- threading
+
+TEST(LintThread, FlagsStdThreadAsyncAndPthread)
+{
+    const auto diags = lintSnippet("src/eval/evaluator.cc", R"(
+        void spawn() {
+            std::thread t([] {});
+            auto f = std::async([] { return 1; });
+            pthread_create(nullptr, nullptr, nullptr, nullptr);
+            t.join();
+        }
+    )");
+    EXPECT_EQ(3u, diags.size());
+    EXPECT_TRUE(hasRule(diags, kRuleThread));
+}
+
+TEST(LintThread, PoolAndWorkerLaneAreExempt)
+{
+    const std::string snippet = "void f() { std::thread worker; }";
+    EXPECT_TRUE(lintSnippet("src/parallel/thread_pool.cc", snippet).empty());
+    EXPECT_TRUE(lintSnippet("src/util/worker_lane.cc", snippet).empty());
+    EXPECT_FALSE(lintSnippet("src/model/linear.cc", snippet).empty());
+}
+
+// ---------------------------------------------------------------- globals
+
+TEST(LintGlobals, FlagsMutableNamespaceScopeVariable)
+{
+    const auto diags = lintSnippet("src/obs/obs.cc", R"(
+        namespace lrd {
+        namespace {
+        std::string g_path;
+        } // namespace
+        } // namespace lrd
+    )");
+    const Diagnostic *d = findRule(diags, kRuleNonconstGlobal);
+    ASSERT_NE(nullptr, d);
+    EXPECT_NE(std::string::npos, d->message.find("g_path"));
+}
+
+TEST(LintGlobals, ConstAtomicMutexAndThreadLocalAreFine)
+{
+    const auto diags = lintSnippet("src/obs/obs.cc", R"(
+        namespace lrd {
+        const int kLimit = 3;
+        constexpr double kEps = 1e-6;
+        std::atomic<int> g_count{0};
+        std::mutex g_mu;
+        thread_local int t_lane = 0;
+        // lrd-lint: mutex(g_mu)
+        std::string g_guarded;
+        } // namespace lrd
+    )");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintGlobals, FunctionBodiesAndDeclarationsAreNotGlobals)
+{
+    const auto diags = lintSnippet("src/obs/obs.cc", R"(
+        namespace lrd {
+        int add(int a, int b);
+        int add(int a, int b) {
+            int localMutable = a;
+            static int functionLocal = 0;
+            return localMutable + b + functionLocal;
+        }
+        struct Holder { int mutableMember = 0; };
+        using Alias = int;
+        } // namespace lrd
+    )");
+    EXPECT_TRUE(diags.empty());
+}
+
+// ----------------------------------------------------------- header rules
+
+TEST(LintHeader, MissingGuardFlagged)
+{
+    const auto diags = lintSnippet("src/util/fresh.h", "int f();\n");
+    EXPECT_TRUE(hasRule(diags, kRuleHeaderGuard));
+}
+
+TEST(LintHeader, PragmaOnceAndIfndefGuardAccepted)
+{
+    EXPECT_TRUE(lintSnippet("src/util/a.h", "#pragma once\nint f();\n")
+                    .empty());
+    EXPECT_TRUE(lintSnippet("src/util/b.h",
+                            "#ifndef LRD_B_H\n#define LRD_B_H\n"
+                            "int f();\n#endif\n")
+                    .empty());
+}
+
+TEST(LintHeader, UsingNamespaceInHeaderFlagged)
+{
+    const std::string snippet = "#pragma once\nusing namespace std;\n";
+    EXPECT_TRUE(hasRule(lintSnippet("src/util/a.h", snippet),
+                        kRuleUsingNamespace));
+    // Same construct in a .cc file is style, not a lint error.
+    EXPECT_FALSE(hasRule(lintSnippet("src/util/a.cc",
+                                     "using namespace std;\n"),
+                         kRuleUsingNamespace));
+}
+
+// -------------------------------------------------------- include layering
+
+TEST(LintLayering, BackEdgeFromLowerToHigherLayerFlagged)
+{
+    // util (layer 0) must never include obs (layer 1).
+    const std::vector<SourceFile> tree = {
+        {"src/util/logging.cc",
+         "#include \"obs/metrics.h\"\n"},
+        {"src/obs/metrics.h", "#pragma once\n"},
+    };
+    const auto diags = checkIncludeGraph(tree);
+    const Diagnostic *d = findRule(diags, kRuleLayering);
+    ASSERT_NE(nullptr, d);
+    EXPECT_EQ("src/util/logging.cc", d->file);
+    EXPECT_NE(std::string::npos, d->message.find("back-edge"));
+    EXPECT_NE(std::string::npos, d->message.find("'obs'"));
+}
+
+TEST(LintLayering, ForwardEdgesAreClean)
+{
+    const std::vector<SourceFile> tree = {
+        {"src/linalg/linalg.cc", "#include \"tensor/tensor.h\"\n"
+                                 "#include \"util/logging.h\"\n"},
+        {"src/tensor/tensor.h", "#pragma once\n"},
+        {"src/util/logging.h", "#pragma once\n"},
+    };
+    EXPECT_TRUE(checkIncludeGraph(tree).empty());
+}
+
+TEST(LintLayering, IntraLayerModuleCycleFlagged)
+{
+    // model <-> decomp are the same layer; an edge each way is a
+    // module cycle even though no single file pair forms one.
+    const std::vector<SourceFile> tree = {
+        {"src/model/linear.h", "#pragma once\n#include \"decomp/tucker.h\"\n"},
+        {"src/decomp/tucker.h", "#pragma once\n"},
+        {"src/decomp/hosvd.cc", "#include \"model/config.h\"\n"},
+        {"src/model/config.h", "#pragma once\n"},
+    };
+    const auto diags = checkIncludeGraph(tree);
+    const Diagnostic *d = findRule(diags, kRuleCycle);
+    ASSERT_NE(nullptr, d);
+    EXPECT_NE(std::string::npos, d->message.find("module dependency cycle"));
+    EXPECT_NE(std::string::npos, d->message.find("model"));
+    EXPECT_NE(std::string::npos, d->message.find("decomp"));
+}
+
+TEST(LintLayering, FileIncludeCyclePrintsThePath)
+{
+    const std::vector<SourceFile> tree = {
+        {"src/tensor/a.h", "#pragma once\n#include \"b.h\"\n"},
+        {"src/tensor/b.h", "#pragma once\n#include \"c.h\"\n"},
+        {"src/tensor/c.h", "#pragma once\n#include \"a.h\"\n"},
+    };
+    const auto diags = checkIncludeGraph(tree);
+    const Diagnostic *d = findRule(diags, kRuleCycle);
+    ASSERT_NE(nullptr, d);
+    EXPECT_NE(std::string::npos,
+              d->message.find("src/tensor/a.h -> src/tensor/b.h -> "
+                              "src/tensor/c.h -> src/tensor/a.h"));
+}
+
+TEST(LintLayering, SystemIncludesAreOutsideTheGraph)
+{
+    const std::vector<SourceFile> tree = {
+        {"src/util/logging.cc", "#include <thread>\n#include <vector>\n"},
+    };
+    EXPECT_TRUE(checkIncludeGraph(tree).empty());
+}
+
+// ------------------------------------------------------------- formatting
+
+TEST(LintFormat, HumanAndFixListFormats)
+{
+    const Diagnostic d{"src/a.cc", 7, "banned-random", "no rand()"};
+    EXPECT_EQ("src/a.cc:7: [banned-random] no rand()", formatDiagnostic(d));
+    EXPECT_EQ("src/a.cc\t7\tbanned-random\tno rand()", formatFixList(d));
+}
+
+TEST(LintFormat, LintFilesSortsAndMergesGraphRules)
+{
+    const std::vector<SourceFile> tree = {
+        {"src/util/z.cc", "int tick = time(nullptr);\n"},
+        {"src/util/a.cc", "#include \"obs/metrics.h\"\n"},
+        {"src/obs/metrics.h", "#pragma once\n"},
+    };
+    const auto diags = lintFiles(tree);
+    ASSERT_EQ(3u, diags.size()); // layering + wall-clock + nonconst-global
+    EXPECT_EQ("src/util/a.cc", diags[0].file);
+    EXPECT_EQ("src/util/z.cc", diags[1].file);
+}
+
+} // namespace
+} // namespace lrd::lint

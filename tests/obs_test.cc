@@ -447,7 +447,9 @@ TEST(Logging, ConcurrentLevelAccessIsRaceFree)
     ThreadPool::instance().resize(4);
 
     std::atomic<bool> stop{false};
-    std::thread flipper([&] {
+    // The raw thread is the point of this test: an external,
+    // non-pool thread racing the pool workers on the log level.
+    std::thread flipper([&] { // lrd-lint: allow(thread-outside-parallel)
         while (!stop.load(std::memory_order_relaxed)) {
             setLogLevel(LogLevel::Warn);
             setLogLevel(LogLevel::Error);

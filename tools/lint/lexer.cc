@@ -1,0 +1,238 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace lrd::lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Cursor over the file contents with line tracking. */
+struct Cursor
+{
+    const std::string &s;
+    size_t i = 0;
+    int line = 1;
+
+    bool done() const { return i >= s.size(); }
+    char peek(size_t off = 0) const
+    {
+        return i + off < s.size() ? s[i + off] : '\0';
+    }
+    char next()
+    {
+        const char c = s[i++];
+        if (c == '\n')
+            ++line;
+        return c;
+    }
+};
+
+/** Consume a // or block comment (cursor sits on the first '/'). */
+void
+lexComment(Cursor &c, LexedFile &out)
+{
+    Comment com;
+    com.line = c.line;
+    c.next(); // '/'
+    if (c.peek() == '/') {
+        while (!c.done() && c.peek() != '\n')
+            com.text += c.next();
+    } else {
+        c.next(); // '*'
+        while (!c.done()) {
+            if (c.peek() == '*' && c.peek(1) == '/') {
+                c.next();
+                c.next();
+                break;
+            }
+            com.text += c.next();
+        }
+    }
+    out.comments.push_back(std::move(com));
+}
+
+/** Consume a quoted literal; quote is '"' or '\''. */
+void
+lexQuoted(Cursor &c, char quote)
+{
+    c.next(); // opening quote
+    while (!c.done()) {
+        const char ch = c.next();
+        if (ch == '\\' && !c.done())
+            c.next();
+        else if (ch == quote || ch == '\n')
+            break;
+    }
+}
+
+/** Consume R"delim(...)delim" (cursor sits on the 'R'). */
+void
+lexRawString(Cursor &c)
+{
+    c.next(); // R
+    c.next(); // "
+    std::string delim;
+    while (!c.done() && c.peek() != '(')
+        delim += c.next();
+    const std::string closer = ")" + delim + "\"";
+    while (!c.done()) {
+        if (c.s.compare(c.i, closer.size(), closer) == 0) {
+            for (size_t k = 0; k < closer.size(); ++k)
+                c.next();
+            return;
+        }
+        c.next();
+    }
+}
+
+/**
+ * Consume a preprocessor line (cursor sits on '#'). Records the
+ * directive and any quoted/angle include target; handles backslash
+ * continuations.
+ */
+void
+lexDirective(Cursor &c, LexedFile &out)
+{
+    Directive dir;
+    dir.line = c.line;
+    c.next(); // '#'
+    while (!c.done() && (c.peek() == ' ' || c.peek() == '\t'))
+        c.next();
+    while (!c.done() && isIdentChar(c.peek()))
+        dir.name += c.next();
+    while (!c.done() && (c.peek() == ' ' || c.peek() == '\t'))
+        c.next();
+
+    if (dir.name == "include") {
+        IncludeDirective inc;
+        inc.line = dir.line;
+        const char open = c.peek();
+        if (open == '"' || open == '<') {
+            inc.quoted = open == '"';
+            const char close = open == '"' ? '"' : '>';
+            c.next();
+            while (!c.done() && c.peek() != close && c.peek() != '\n')
+                inc.target += c.next();
+            dir.arg = inc.target;
+            out.includes.push_back(std::move(inc));
+        }
+    } else {
+        while (!c.done() && isIdentChar(c.peek()))
+            dir.arg += c.next();
+    }
+    out.directives.push_back(std::move(dir));
+
+    // Skip the rest of the line(s); comments inside still count.
+    while (!c.done() && c.peek() != '\n') {
+        if (c.peek() == '\\' && c.peek(1) == '\n') {
+            c.next();
+            c.next();
+            continue;
+        }
+        if (c.peek() == '/' && (c.peek(1) == '/' || c.peek(1) == '*')) {
+            lexComment(c, out);
+            continue;
+        }
+        c.next();
+    }
+}
+
+} // namespace
+
+LexedFile
+lex(const std::string &content)
+{
+    LexedFile out;
+    Cursor c{content};
+    bool atLineStart = true;
+
+    while (!c.done()) {
+        const char ch = c.peek();
+
+        if (ch == '\n' || ch == ' ' || ch == '\t' || ch == '\r') {
+            if (ch == '\n')
+                atLineStart = true;
+            c.next();
+            continue;
+        }
+        if (ch == '#' && atLineStart) {
+            lexDirective(c, out);
+            continue;
+        }
+        atLineStart = false;
+        if (ch == '/' && (c.peek(1) == '/' || c.peek(1) == '*')) {
+            lexComment(c, out);
+            continue;
+        }
+        if (ch == '"') {
+            lexQuoted(c, '"');
+            continue;
+        }
+        if (ch == '\'' ) {
+            // Digit separators (1'000) never follow a non-number
+            // token boundary here because numbers consume them below.
+            lexQuoted(c, '\'');
+            continue;
+        }
+        if (ch == 'R' && c.peek(1) == '"') {
+            lexRawString(c);
+            continue;
+        }
+        if (isIdentStart(ch)) {
+            Token t;
+            t.kind = TokKind::Identifier;
+            t.line = c.line;
+            while (!c.done() && isIdentChar(c.peek()))
+                t.text += c.next();
+            // Raw/encoded string prefixes: u8"...", L"...", uR"(...)"
+            if (!c.done() && c.peek() == '"' &&
+                (t.text == "u8" || t.text == "u" || t.text == "U" ||
+                 t.text == "L")) {
+                lexQuoted(c, '"');
+                continue;
+            }
+            out.tokens.push_back(std::move(t));
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(ch))) {
+            Token t;
+            t.kind = TokKind::Number;
+            t.line = c.line;
+            t.text += c.next();
+            while (!c.done() &&
+                   (isIdentChar(c.peek()) || c.peek() == '\'' ||
+                    ((c.peek() == '+' || c.peek() == '-') &&
+                     (t.text.back() == 'e' || t.text.back() == 'E' ||
+                      t.text.back() == 'p' || t.text.back() == 'P')) ||
+                    c.peek() == '.'))
+                t.text += c.next();
+            out.tokens.push_back(std::move(t));
+            continue;
+        }
+        Token t;
+        t.kind = TokKind::Punct;
+        t.line = c.line;
+        t.text = std::string(1, c.next());
+        // Fuse :: so scope qualifiers are a single token.
+        if (t.text == ":" && c.peek() == ':') {
+            c.next();
+            t.text.push_back(':');
+        }
+        out.tokens.push_back(std::move(t));
+    }
+    return out;
+}
+
+} // namespace lrd::lint

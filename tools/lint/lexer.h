@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal C++ tokenizer for lrd-lint.
+ *
+ * Produces identifier/punctuation tokens with line numbers, the list
+ * of quoted #include directives, preprocessor directive names (for
+ * the header-guard rule), and all comment text (for suppression and
+ * annotation scanning). String, character and raw-string literals
+ * are skipped so their contents can never trip an identifier rule.
+ */
+
+#ifndef LRD_TOOLS_LINT_LEXER_H
+#define LRD_TOOLS_LINT_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace lrd::lint {
+
+/** Kind of a lexed token. */
+enum class TokKind { Identifier, Number, Punct };
+
+/** One token with its 1-based source line. */
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    int line = 0;
+};
+
+/** One comment (// or block) with the line it starts on. */
+struct Comment
+{
+    std::string text;
+    int line = 0;
+};
+
+/** One `#include "..."` or `#include <...>` directive. */
+struct IncludeDirective
+{
+    std::string target;
+    bool quoted = false;
+    int line = 0;
+};
+
+/** One preprocessor directive ("pragma once", "ifndef X", ...). */
+struct Directive
+{
+    /** Directive name: "include", "ifndef", "pragma", "define", ... */
+    std::string name;
+    /** First token after the name ("once", the guard macro, ...). */
+    std::string arg;
+    int line = 0;
+};
+
+/** Full lex result for one file. */
+struct LexedFile
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+    std::vector<IncludeDirective> includes;
+    std::vector<Directive> directives;
+};
+
+/** Tokenize one translation unit. Never fails; garbage in, tokens out. */
+LexedFile lex(const std::string &content);
+
+} // namespace lrd::lint
+
+#endif // LRD_TOOLS_LINT_LEXER_H

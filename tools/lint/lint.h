@@ -1,0 +1,101 @@
+/**
+ * @file
+ * lrd-lint: project-invariant static analysis for the lrd tree.
+ *
+ * A deliberately small, libclang-free linter. It tokenizes C++
+ * sources (comments, string literals and preprocessor lines are
+ * handled; no semantic analysis) and enforces the invariants the
+ * paper reproduction depends on:
+ *
+ *  - determinism: no ad-hoc randomness or wall-clock seeding outside
+ *    src/util/rng, no unordered-container iteration order leaking
+ *    into the numeric core;
+ *  - concurrency discipline: raw threads only inside src/parallel/
+ *    and src/util/worker_lane.*, no unsynchronized mutable globals;
+ *  - layering: the module DAG util -> obs -> parallel ->
+ *    tensor/linalg -> model/decomp -> hw/quant -> eval/dse/train ->
+ *    tools/tests/bench must stay acyclic with no back-edges;
+ *  - header hygiene: include guards, no `using namespace` at
+ *    namespace scope in headers.
+ *
+ * Violations are suppressible in place with a trailing or preceding
+ * comment `// lrd-lint: allow(<rule>[, <rule>...])`. Mutable globals
+ * guarded by a mutex are annotated `// lrd-lint: mutex(<name>)`.
+ *
+ * The core operates on (path, content) pairs so tests can feed
+ * fixture snippets without touching the filesystem; the CLI wrapper
+ * in main.cc walks the real tree.
+ */
+
+#ifndef LRD_TOOLS_LINT_LINT_H
+#define LRD_TOOLS_LINT_LINT_H
+
+#include <string>
+#include <vector>
+
+namespace lrd::lint {
+
+/** One source file presented to the linter. */
+struct SourceFile
+{
+    /** Repo-relative path with forward slashes, e.g. "src/util/rng.h". */
+    std::string path;
+    /** Full file contents. */
+    std::string content;
+};
+
+/** One rule violation. */
+struct Diagnostic
+{
+    std::string file;
+    int line = 0;
+    /** Stable rule name, usable in allow(...) suppressions. */
+    std::string rule;
+    std::string message;
+};
+
+/** Rule names (single definition so help text / tests stay in sync). */
+inline constexpr const char *kRuleBannedRandom = "banned-random";
+inline constexpr const char *kRuleWallClock = "wall-clock";
+inline constexpr const char *kRuleUnordered = "unordered-container";
+inline constexpr const char *kRuleThread = "thread-outside-parallel";
+inline constexpr const char *kRuleNonconstGlobal = "nonconst-global";
+inline constexpr const char *kRuleHeaderGuard = "header-guard";
+inline constexpr const char *kRuleUsingNamespace = "using-namespace-header";
+inline constexpr const char *kRuleLayering = "include-layering";
+inline constexpr const char *kRuleCycle = "include-cycle";
+
+/**
+ * Layer of a module directory in the declared layering, or -1 when
+ * the path is outside the known tree. Higher layers may include
+ * lower ones; an include in the other direction is a back-edge.
+ */
+int moduleLayer(const std::string &module);
+
+/** Module name for a repo-relative path ("src/util/rng.h" -> "util"). */
+std::string moduleOf(const std::string &path);
+
+/**
+ * Run every per-file token rule on one file. Suppressions are
+ * already applied; the result contains only live violations.
+ */
+std::vector<Diagnostic> lintFile(const SourceFile &file);
+
+/**
+ * Run the include-graph rules (layering back-edges, module cycles,
+ * file-level include cycles) over a whole tree.
+ */
+std::vector<Diagnostic> checkIncludeGraph(const std::vector<SourceFile> &files);
+
+/** Per-file rules plus graph rules, sorted by (file, line, rule). */
+std::vector<Diagnostic> lintFiles(const std::vector<SourceFile> &files);
+
+/** "file:line: [rule] message" -- the human-readable report line. */
+std::string formatDiagnostic(const Diagnostic &d);
+
+/** "file\tline\trule\tmessage" -- the --fix-list machine format. */
+std::string formatFixList(const Diagnostic &d);
+
+} // namespace lrd::lint
+
+#endif // LRD_TOOLS_LINT_LINT_H

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * lrd-lint CLI: walk the tree, run every rule, report.
+ *
+ * Usage:
+ *   lrd-lint [--root <dir>] [--fix-list] [path...]
+ *
+ * With no paths the default scan set is src/, tools/, tests/ and
+ * bench/ under the root. Paths may be files or directories and are
+ * interpreted relative to the root. Exit status: 0 clean, 1 when
+ * violations were found, 2 on usage or I/O errors.
+ *
+ * --fix-list switches the report to the machine-readable
+ * "file<TAB>line<TAB>rule<TAB>message" format consumed by editor
+ * integrations and CI annotators.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const char *kUsage =
+    "usage: lrd-lint [--root <dir>] [--fix-list] [path...]\n"
+    "\n"
+    "Lints the lrd tree for determinism, concurrency, layering and\n"
+    "header-hygiene invariants. Default paths: src tools tests bench.\n"
+    "Suppress one finding with '// lrd-lint: allow(<rule>)' on the\n"
+    "same or preceding line.\n";
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hh" || ext == ".hpp" || ext == ".cc" ||
+           ext == ".cpp" || ext == ".cxx";
+}
+
+/** Repo-relative path with forward slashes. */
+std::string
+relativePath(const fs::path &p, const fs::path &root)
+{
+    return fs::relative(p, root).generic_string();
+}
+
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    out = oss.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = fs::current_path();
+    bool fixList = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root") {
+            if (i + 1 >= argc) {
+                std::cerr << "lrd-lint: --root needs a directory\n" << kUsage;
+                return 2;
+            }
+            root = argv[++i];
+        } else if (arg == "--fix-list") {
+            fixList = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << kUsage;
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "lrd-lint: unknown option '" << arg << "'\n"
+                      << kUsage;
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        paths = {"src", "tools", "tests", "bench"};
+
+    std::error_code ec;
+    root = fs::canonical(root, ec);
+    if (ec) {
+        std::cerr << "lrd-lint: bad root: " << ec.message() << "\n";
+        return 2;
+    }
+
+    std::vector<lrd::lint::SourceFile> files;
+    for (const std::string &p : paths) {
+        const fs::path full = root / p;
+        if (fs::is_directory(full)) {
+            for (auto it = fs::recursive_directory_iterator(full);
+                 it != fs::recursive_directory_iterator(); ++it) {
+                if (it->is_regular_file() && isSourceFile(it->path())) {
+                    lrd::lint::SourceFile f;
+                    f.path = relativePath(it->path(), root);
+                    if (!readFile(it->path(), f.content)) {
+                        std::cerr << "lrd-lint: cannot read " << f.path
+                                  << "\n";
+                        return 2;
+                    }
+                    files.push_back(std::move(f));
+                }
+            }
+        } else if (fs::is_regular_file(full)) {
+            lrd::lint::SourceFile f;
+            f.path = relativePath(full, root);
+            if (!readFile(full, f.content)) {
+                std::cerr << "lrd-lint: cannot read " << f.path << "\n";
+                return 2;
+            }
+            files.push_back(std::move(f));
+        } else {
+            std::cerr << "lrd-lint: no such file or directory: " << p << "\n";
+            return 2;
+        }
+    }
+
+    const std::vector<lrd::lint::Diagnostic> diags =
+        lrd::lint::lintFiles(files);
+
+    for (const lrd::lint::Diagnostic &d : diags)
+        std::cout << (fixList ? lrd::lint::formatFixList(d)
+                              : lrd::lint::formatDiagnostic(d))
+                  << "\n";
+    if (!fixList) {
+        if (diags.empty())
+            std::cout << "lrd-lint: " << files.size() << " files clean\n";
+        else
+            std::cout << "lrd-lint: " << diags.size() << " violation(s) in "
+                      << files.size() << " files\n";
+    }
+    return diags.empty() ? 0 : 1;
+}
