@@ -17,6 +17,7 @@
 #include "parallel/thread_pool.h"
 #include "tensor/ops.h"
 #include "train/model_zoo.h"
+#include "train/trainer.h"
 
 namespace lrd {
 namespace {
@@ -233,6 +234,29 @@ BM_FullForward64(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FullForward64);
+
+/** One optimizer step (forward + backward + AdamW) on the tiny
+ *  stand-in. The robust-layer guards (faultAt at the step boundary,
+ *  the per-block non-finite check) are compiled in but disarmed; the
+ *  delta against a pre-guard baseline is the guard overhead
+ *  (budget: <2%). */
+void
+BM_TrainerStep(benchmark::State &state)
+{
+    TransformerModel model(tinyLlamaConfig(), 11);
+    TrainOptions opts;
+    opts.steps = 1;
+    opts.batchSeqs = 2;
+    opts.seqLen = 32;
+    opts.warmupSteps = 0;
+    opts.logEvery = 0;
+    for (auto _ : state) {
+        Trainer trainer(model, defaultWorld(), opts);
+        const double loss = trainer.run();
+        benchmark::DoNotOptimize(loss);
+    }
+}
+BENCHMARK(BM_TrainerStep);
 
 } // namespace
 } // namespace lrd

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification: clean Release build + full ctest, the lrd-lint
 # static-analysis gate, a ThreadSanitizer build that re-runs the
-# determinism + observability suites, and a UBSan build of the same
-# two suites (signed overflow / misaligned loads in the packed GEMM
-# kernels would surface here). clang-tidy runs advisorily when the
-# tool is installed.
+# determinism + observability suites, a UBSan build of the same two
+# suites (signed overflow / misaligned loads in the packed GEMM
+# kernels would surface here), and an ASan build of the fault-
+# tolerance suites (checkpoint I/O and injected alloc failures
+# exercise error paths where leaks and overreads hide). clang-tidy
+# runs advisorily when the tool is installed.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -40,5 +42,11 @@ cmake -B build-ubsan -S . -DLRD_SANITIZE=undefined
 cmake --build build-ubsan -j --target determinism_test obs_test
 ./build-ubsan/tests/determinism_test
 ./build-ubsan/tests/obs_test
+
+echo "== ASan: robust + resume suites under -fsanitize=address =="
+cmake -B build-asan -S . -DLRD_SANITIZE=address
+cmake --build build-asan -j --target robust_test resume_test
+./build-asan/tests/robust_test
+./build-asan/tests/resume_test
 
 echo "verify: OK"

@@ -5,6 +5,8 @@
 #include "linalg/linalg.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/recovery.h"
+#include "robust/retry.h"
 #include "tensor/ops.h"
 #include "tensor/unfold.h"
 #include "util/logging.h"
@@ -68,19 +70,19 @@ hosvd(const Tensor &t, const std::vector<int64_t> &ranks)
     out.factors.reserve(ranks.size());
     for (int64_t m = 0; m < t.rank(); ++m)
         out.factors.push_back(leftSingularVectors(
-            unfold(t, m), ranks[static_cast<size_t>(m)]));
+            unfold(t, m), ranks[static_cast<size_t>(m)], &out.status));
     // Core = T x_0 U0^T x_1 U1^T ...
     out.core = projectAllBut(t, out.factors, /*skip=*/-1);
     return out;
 }
 
-TuckerResult
-hooi(const Tensor &t, const std::vector<int64_t> &ranks,
-     const HoiOptions &opts)
-{
-    checkRanks(t, ranks);
-    require(opts.maxIters >= 1, "hooi: maxIters must be >= 1");
+namespace {
 
+/** One full HOI run; the retry policy wraps this. */
+TuckerResult
+hooiOnce(const Tensor &t, const std::vector<int64_t> &ranks,
+         const HoiOptions &opts)
+{
     TuckerResult cur;
     if (opts.hosvdInit) {
         cur = hosvd(t, ranks);
@@ -102,7 +104,7 @@ hooi(const Tensor &t, const std::vector<int64_t> &ranks,
         for (int64_t m = 0; m < t.rank(); ++m) {
             Tensor p = projectAllBut(t, cur.factors, m);
             cur.factors[static_cast<size_t>(m)] = leftSingularVectors(
-                unfold(p, m), ranks[static_cast<size_t>(m)]);
+                unfold(p, m), ranks[static_cast<size_t>(m)], &cur.status);
         }
         cur.core = projectAllBut(t, cur.factors, -1);
 
@@ -117,6 +119,38 @@ hooi(const Tensor &t, const std::vector<int64_t> &ranks,
             break;
         prevFit = fit;
     }
+    return cur;
+}
+
+} // namespace
+
+TuckerResult
+hooi(const Tensor &t, const std::vector<int64_t> &ranks,
+     const HoiOptions &opts)
+{
+    checkRanks(t, ranks);
+    require(opts.maxIters >= 1, "hooi: maxIters must be >= 1");
+
+    TuckerResult cur = hooiOnce(t, ranks, opts);
+    const RobustPolicy policy = robustPolicy();
+    if (cur.status.ok() || policy.mode != RobustMode::Retry)
+        return cur;
+
+    // Attempt 0 replays the failure already in hand; later attempts
+    // re-run HOI from a reseeded random initialization so the retry
+    // sequence depends only on (opts.seed, attempt index).
+    retryWithReseed(opts.seed, policy.maxRetries + 1,
+                    [&](Rng &rng, int attempt) -> Status {
+                        if (attempt == 0)
+                            return cur.status;
+                        HoiOptions ropts = opts;
+                        ropts.hosvdInit = false;
+                        ropts.seed = rng.next();
+                        TuckerResult again = hooiOnce(t, ranks, ropts);
+                        if (again.status.ok())
+                            cur = std::move(again);
+                        return cur.status;
+                    });
     return cur;
 }
 
@@ -146,6 +180,7 @@ tucker2dDecompose(const Tensor &w, int64_t prunedRank)
                    " invalid for ", shapeToString(w.shape())));
     SvdResult s = truncatedSvd(w, prunedRank);
     Tucker2d out;
+    out.status = std::move(s.status);
     out.u1 = std::move(s.u);
     out.core = Tensor({prunedRank, prunedRank});
     for (int64_t i = 0; i < prunedRank; ++i)

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace lrd {
 
@@ -21,6 +22,7 @@ struct TuckerResult
 {
     Tensor core;                 ///< Shape (r_0, ..., r_{N-1}).
     std::vector<Tensor> factors; ///< Per-mode (n_i x r_i) factors.
+    Status status;               ///< First Jacobi non-convergence, if any.
 
     /** Reconstruct core x_0 U^0 x_1 U^1 ... back to full shape. */
     Tensor reconstruct() const;
@@ -50,6 +52,11 @@ TuckerResult hosvd(const Tensor &t, const std::vector<int64_t> &ranks);
  * Tucker decomposition via Higher Order Orthogonal Iteration
  * (Algorithm 1). @param ranks one target rank per mode, each in
  * [1, n_i].
+ *
+ * A Jacobi non-convergence inside any factor update surfaces in the
+ * result's status. Under LRD_ROBUST=retry the iteration deterministically
+ * re-runs with a reseeded random initialization (bounded attempts)
+ * before reporting failure.
  */
 TuckerResult hooi(const Tensor &t, const std::vector<int64_t> &ranks,
                   const HoiOptions &opts = {});
@@ -65,6 +72,7 @@ struct Tucker2d
     Tensor u1;   ///< (H x pr).
     Tensor core; ///< (pr x pr), diagonal by construction.
     Tensor u2;   ///< (pr x W).
+    Status status; ///< Propagated SVD convergence status.
 
     /** Reconstruct u1 * core * u2. */
     Tensor reconstruct() const;

@@ -1,11 +1,16 @@
 #include "optimizer.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "dse/schedules.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "robust/checkpoint.h"
+#include "robust/fault.h"
+#include "robust/recovery.h"
+#include "util/cache.h"
 #include "util/logging.h"
 
 namespace lrd {
@@ -14,6 +19,153 @@ OptimizerOptions::OptimizerOptions()
     : device(a100_80gb())
 {
 }
+
+namespace {
+
+/** Payload-format version of DSE checkpoints. */
+constexpr uint32_t kDseCkptVersion = 1;
+
+/** One point of the pruned candidate grid. */
+struct Candidate
+{
+    int64_t rank;
+    int count;
+};
+
+void
+putDecompConfig(ByteWriter &w, const DecompConfig &c)
+{
+    w.putU64(c.layers.size());
+    for (int l : c.layers)
+        w.putU32(static_cast<uint32_t>(l));
+    w.putU64(c.tensors.size());
+    for (WeightKind k : c.tensors)
+        w.putU32(static_cast<uint32_t>(k));
+    w.putU64(static_cast<uint64_t>(c.prunedRank));
+    w.putU64(c.rankOverrides.size());
+    for (const auto &[key, rank] : c.rankOverrides) {
+        w.putU32(static_cast<uint32_t>(key.first));
+        w.putU32(static_cast<uint32_t>(key.second));
+        w.putU64(static_cast<uint64_t>(rank));
+    }
+}
+
+DecompConfig
+getDecompConfig(ByteReader &r)
+{
+    DecompConfig c;
+    const uint64_t nLayers = r.getU64();
+    c.layers.resize(nLayers);
+    for (uint64_t i = 0; i < nLayers; ++i)
+        c.layers[i] = static_cast<int>(r.getU32());
+    const uint64_t nTensors = r.getU64();
+    c.tensors.resize(nTensors);
+    for (uint64_t i = 0; i < nTensors; ++i)
+        c.tensors[i] = static_cast<WeightKind>(r.getU32());
+    c.prunedRank = static_cast<int64_t>(r.getU64());
+    const uint64_t nOverrides = r.getU64();
+    for (uint64_t i = 0; i < nOverrides; ++i) {
+        const int layer = static_cast<int>(r.getU32());
+        const int kind = static_cast<int>(r.getU32());
+        c.rankOverrides[{layer, kind}] = static_cast<int64_t>(r.getU64());
+    }
+    return c;
+}
+
+// All metric doubles round-trip as raw f64 bits, so a resumed sweep
+// reports bitwise the same records as an uninterrupted one.
+void
+putCandidateRecord(ByteWriter &w, const CandidateRecord &rec)
+{
+    putDecompConfig(w, rec.config);
+    w.putF64(rec.accuracy);
+    w.putF64(rec.latencySec);
+    w.putF64(rec.energyJ);
+    w.putF64(rec.edp);
+    w.putF64(rec.reduction);
+    w.putU32(rec.failed ? 1 : 0);
+    w.putString(rec.failure);
+}
+
+CandidateRecord
+getCandidateRecord(ByteReader &r)
+{
+    CandidateRecord rec;
+    rec.config = getDecompConfig(r);
+    rec.accuracy = r.getF64();
+    rec.latencySec = r.getF64();
+    rec.energyJ = r.getF64();
+    rec.edp = r.getF64();
+    rec.reduction = r.getF64();
+    rec.failed = r.getU32() != 0;
+    rec.failure = r.getString();
+    return rec;
+}
+
+void
+writeDseCheckpoint(const OptimizerOptions &opts,
+                   const OptimizerResult &result,
+                   const std::vector<Candidate> &grid,
+                   const std::vector<uint8_t> &done,
+                   const std::vector<CandidateRecord> &records)
+{
+    ByteWriter w;
+    w.putF64(result.baselineAccuracy);
+    w.putF64(result.baselineEdp);
+    w.putU64(grid.size());
+    for (const Candidate &cand : grid) {
+        w.putU64(static_cast<uint64_t>(cand.rank));
+        w.putU32(static_cast<uint32_t>(cand.count));
+    }
+    for (size_t i = 0; i < grid.size(); ++i) {
+        w.putU32(done[i] != 0 ? 1 : 0);
+        if (done[i] != 0)
+            putCandidateRecord(w, records[i]);
+    }
+    Status s = writeCheckpoint(opts.checkpointPath, kDseCkptVersion,
+                               w.bytes());
+    if (!s.ok()) {
+        if (robustPolicy().mode == RobustMode::Strict)
+            fatal("dse: checkpoint failed: " + s.toString());
+        warn("dse: checkpoint skipped; " + s.toString());
+    }
+}
+
+Status
+restoreDseCheckpoint(const OptimizerOptions &opts, OptimizerResult &result,
+                     const std::vector<Candidate> &grid,
+                     std::vector<uint8_t> &done,
+                     std::vector<CandidateRecord> &records)
+{
+    Result<std::vector<uint8_t>> payload =
+        readCheckpointWithFallback(opts.checkpointPath, kDseCkptVersion);
+    if (!payload.ok())
+        return payload.status();
+    ByteReader r(std::move(payload).value());
+    const double baselineAccuracy = r.getF64();
+    const double baselineEdp = r.getF64();
+    if (r.getU64() != grid.size())
+        return Status(StatusCode::InvalidArgument, "dse.resume",
+                      "checkpoint grid size does not match this search");
+    for (const Candidate &cand : grid) {
+        const auto rank = static_cast<int64_t>(r.getU64());
+        const auto count = static_cast<int>(r.getU32());
+        if (rank != cand.rank || count != cand.count)
+            return Status(StatusCode::InvalidArgument, "dse.resume",
+                          "checkpoint candidate grid does not match "
+                          "this search");
+    }
+    for (size_t i = 0; i < grid.size(); ++i) {
+        done[i] = r.getU32() != 0 ? 1 : 0;
+        if (done[i] != 0)
+            records[i] = getCandidateRecord(r);
+    }
+    result.baselineAccuracy = baselineAccuracy;
+    result.baselineEdp = baselineEdp;
+    return Status();
+}
+
+} // namespace
 
 OptimizerResult
 optimizeDecomposition(const std::vector<uint8_t> &modelBytes,
@@ -40,19 +192,6 @@ optimizeDecomposition(const std::vector<uint8_t> &modelBytes,
                                   opts.workload);
     };
 
-    // Baseline accuracy and EDP on the dense model.
-    ModelConfig probeCfg;
-    {
-        TransformerModel dense = TransformerModel::deserialize(modelBytes);
-        probeCfg = dense.config();
-        Evaluator ev(dense, world,
-                     EvalOptions{opts.evalTasks, opts.evalSeed, false});
-        result.baselineAccuracy = ev.aggregateAccuracy();
-        const InferenceEstimate est =
-            edpEstimate(probeCfg, DecompConfig::identity());
-        result.baselineEdp = est.latencySec * est.energyJoules;
-    }
-
     // Pruned candidate family (Section 3.4 insights): all tensors,
     // spread interior layer schedules, small ranks. Candidates are
     // independent (each deserializes its own probe model), so the
@@ -61,58 +200,136 @@ optimizeDecomposition(const std::vector<uint8_t> &modelBytes,
     // enumeration order, keeping the result thread-count invariant.
     TransformerModel probe = TransformerModel::deserialize(modelBytes);
     const ModelConfig cfg = probe.config();
-    struct Candidate
-    {
-        int64_t rank;
-        int count;
-    };
     std::vector<Candidate> grid;
     for (int64_t rank : opts.candidateRanks)
         for (int count = 1; count <= cfg.nLayers; ++count)
             grid.push_back({rank, count});
 
     std::vector<CandidateRecord> records(grid.size());
-    parallelFor(
-        0, static_cast<int64_t>(grid.size()), 1,
-        [&](int64_t lo, int64_t hi) {
-            static Counter *candidates =
-                MetricsRegistry::instance().counter("dse.candidates");
-            for (int64_t idx = lo; idx < hi; ++idx) {
-                LRD_TRACE_SPAN("dse.candidate");
-                candidates->inc();
-                const Candidate &cand =
-                    grid[static_cast<size_t>(idx)];
-                DecompConfig gamma = DecompConfig::allTensors(
-                    cfg,
-                    spreadSchedule(static_cast<int>(cfg.nLayers),
-                                   cand.count),
-                    cand.rank);
+    std::vector<uint8_t> done(grid.size(), 0);
 
-                TransformerModel model =
-                    TransformerModel::deserialize(modelBytes);
-                gamma.applyTo(model);
-                Evaluator ev(model, world,
-                             EvalOptions{opts.evalTasks, opts.evalSeed,
-                                         false});
+    bool resumed = false;
+    if (opts.resume && !opts.checkpointPath.empty()) {
+        Status rs =
+            restoreDseCheckpoint(opts, result, grid, done, records);
+        if (rs.ok()) {
+            int64_t numDone = 0;
+            for (uint8_t d : done)
+                numDone += d != 0;
+            inform(strCat("dse: resumed ", opts.checkpointPath, " with ",
+                          numDone, " of ", grid.size(),
+                          " candidates already evaluated"));
+            resumed = true;
+        } else if (rs.code() == StatusCode::NotFound) {
+            inform("dse: no checkpoint yet; starting fresh");
+        } else {
+            fatal("dse: cannot resume: " + rs.toString());
+        }
+    }
 
-                CandidateRecord rec;
-                rec.config = gamma;
-                rec.accuracy = ev.aggregateAccuracy();
-                rec.reduction = gamma.parameterReduction(cfg);
-                const InferenceEstimate est = edpEstimate(cfg, gamma);
-                rec.latencySec = est.latencySec;
-                rec.energyJ = est.energyJoules;
-                rec.edp = est.latencySec * est.energyJoules;
-                records[static_cast<size_t>(idx)] = std::move(rec);
-            }
-        });
+    if (!resumed) {
+        // Baseline accuracy and EDP on the dense model.
+        TransformerModel dense = TransformerModel::deserialize(modelBytes);
+        Evaluator ev(dense, world,
+                     EvalOptions{opts.evalTasks, opts.evalSeed, false});
+        result.baselineAccuracy = ev.aggregateAccuracy();
+        const InferenceEstimate est =
+            edpEstimate(cfg, DecompConfig::identity());
+        result.baselineEdp = est.latencySec * est.energyJoules;
+    }
+
+    const auto total = static_cast<int64_t>(grid.size());
+    const bool checkpointing =
+        !opts.checkpointPath.empty() && opts.checkpointEvery > 0;
+    const int64_t stride = checkpointing ? opts.checkpointEvery : total;
+    for (int64_t batchStart = 0; batchStart < total;
+         batchStart += stride) {
+        if (faultAt("dse.batch", FaultKind::Cancel)) {
+            // Simulated kill between batches; the checkpoint written
+            // after the previous batch is the resume point.
+            result.cancelled = true;
+            break;
+        }
+        const int64_t batchEnd = std::min(total, batchStart + stride);
+        parallelFor(
+            batchStart, batchEnd, 1, [&](int64_t lo, int64_t hi) {
+                static Counter *candidates =
+                    MetricsRegistry::instance().counter("dse.candidates");
+                for (int64_t idx = lo; idx < hi; ++idx) {
+                    if (done[static_cast<size_t>(idx)] != 0)
+                        continue; // Already evaluated before resume.
+                    LRD_TRACE_SPAN("dse.candidate");
+                    candidates->inc();
+                    const Candidate &cand =
+                        grid[static_cast<size_t>(idx)];
+                    DecompConfig gamma = DecompConfig::allTensors(
+                        cfg,
+                        spreadSchedule(static_cast<int>(cfg.nLayers),
+                                       cand.count),
+                        cand.rank);
+
+                    CandidateRecord rec;
+                    rec.config = gamma;
+                    auto evaluate = [&] {
+                        TransformerModel model =
+                            TransformerModel::deserialize(modelBytes);
+                        Status ds = gamma.applyTo(model);
+                        if (!ds.ok()) {
+                            rec.failed = true;
+                            rec.failure = ds.toString();
+                            return;
+                        }
+                        Evaluator ev(model, world,
+                                     EvalOptions{opts.evalTasks,
+                                                 opts.evalSeed, false});
+                        rec.accuracy = ev.aggregateAccuracy();
+                        rec.reduction = gamma.parameterReduction(cfg);
+                        const InferenceEstimate est =
+                            edpEstimate(cfg, gamma);
+                        rec.latencySec = est.latencySec;
+                        rec.energyJ = est.energyJoules;
+                        rec.edp = est.latencySec * est.energyJoules;
+                    };
+                    if (robustPolicy().mode == RobustMode::Strict) {
+                        evaluate();
+                    } else {
+                        // Graceful degradation: one faulted candidate
+                        // is recorded and the sweep continues.
+                        try {
+                            evaluate();
+                        } catch (const std::exception &e) {
+                            rec.failed = true;
+                            rec.failure = e.what();
+                        }
+                    }
+                    records[static_cast<size_t>(idx)] = std::move(rec);
+                    done[static_cast<size_t>(idx)] = 1;
+                }
+            });
+        if (checkpointing)
+            writeDseCheckpoint(opts, result, grid, done, records);
+    }
 
     double bestEdp = std::numeric_limits<double>::infinity();
     bool haveBest = false;
-    for (CandidateRecord &rec : records) {
-        rec.feasible =
-            std::max(result.baselineAccuracy - rec.accuracy, 0.0)
-            < opts.accuracyDropTolerance;
+    int64_t numDone = 0;
+    Status firstFailure;
+    for (size_t i = 0; i < records.size(); ++i) {
+        if (done[i] == 0)
+            continue; // Cancelled before this slot was evaluated.
+        ++numDone;
+        CandidateRecord &rec = records[i];
+        if (rec.failed) {
+            ++result.numFailed;
+            if (firstFailure.ok())
+                firstFailure = Status(StatusCode::Internal,
+                                      "dse.candidate", rec.failure);
+            rec.feasible = false;
+        } else {
+            rec.feasible =
+                std::max(result.baselineAccuracy - rec.accuracy, 0.0)
+                < opts.accuracyDropTolerance;
+        }
         if (rec.feasible && rec.edp < bestEdp) {
             bestEdp = rec.edp;
             result.best = rec;
@@ -120,6 +337,7 @@ optimizeDecomposition(const std::vector<uint8_t> &modelBytes,
         }
         result.explored.push_back(std::move(rec));
     }
+    enforceFailureBudget("dse", result.numFailed, numDone, firstFailure);
 
     if (!haveBest) {
         // No decomposition satisfies tau: the identity is the answer.

@@ -41,6 +41,13 @@ struct OptimizerOptions
      */
     bool projectEdpOnLlama7b = true;
 
+    /** Checkpoint file; empty disables checkpointing. */
+    std::string checkpointPath;
+    /** Candidates evaluated between checkpoints (0 disables). */
+    int checkpointEvery = 8;
+    /** Resume from checkpointPath when it exists. */
+    bool resume = false;
+
     OptimizerOptions();
 };
 
@@ -54,6 +61,8 @@ struct CandidateRecord
     double edp = 0;        ///< latency x energy.
     double reduction = 0;  ///< Parameter reduction fraction.
     bool feasible = false; ///< Accuracy constraint satisfied.
+    bool failed = false;   ///< Candidate faulted; degraded (infeasible).
+    std::string failure;   ///< Failure description when failed.
 };
 
 /** Search outcome. */
@@ -63,6 +72,10 @@ struct OptimizerResult
     double baselineAccuracy = 0;
     double baselineEdp = 0;
     std::vector<CandidateRecord> explored;
+    int numFailed = 0;     ///< Degraded candidates (within budget).
+    /** True when an injected "dse.batch" cancel stopped the sweep;
+     *  the checkpoint then carries the completed prefix. */
+    bool cancelled = false;
 };
 
 /**

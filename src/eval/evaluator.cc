@@ -7,12 +7,49 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "robust/fault.h"
+#include "robust/recovery.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
 namespace lrd {
 
 namespace {
+
+/**
+ * Run one item's scoring body under the recovery policy and return
+ * the item's final Status. The body writes its answer into the item's
+ * fixed result slot; a numeric fault noted while it runs (NaN guard)
+ * or an injected "eval.item" allocation failure marks the item
+ * failed. Retry mode re-runs the body a bounded number of times —
+ * injected faults are consumed by their occurrence counters, so a
+ * retry can genuinely clear. Runs entirely on the calling worker, so
+ * the per-item outcome is independent of the thread partition.
+ */
+template <class Body>
+Status
+scoreWithPolicy(const Body &body)
+{
+    takeNumericFault(); // Drop any stale note from a previous item.
+    const RobustPolicy policy = robustPolicy();
+    const int attempts =
+        policy.mode == RobustMode::Retry ? policy.maxRetries + 1 : 1;
+    Status last;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0)
+            noteRetry();
+        if (faultAt("eval.item", FaultKind::Alloc)) {
+            last = Status(StatusCode::ResourceExhausted, "eval.item",
+                          "injected allocation failure");
+            continue;
+        }
+        body();
+        last = takeNumericFault();
+        if (last.ok())
+            return last;
+    }
+    return last;
+}
 
 /**
  * Score one multiple-choice item on a decoder model by summed
@@ -183,21 +220,35 @@ Evaluator::runMc(BenchmarkKind kind)
         makeMcTasks(kind, world_, opts_.numTasks, opts_.seed);
     const bool causal = model_.config().arch == Arch::LlamaStyle;
     std::vector<int> picks(tasks.size(), 0);
+    std::vector<Status> itemStatus(tasks.size());
     forEachItemParallel(
         static_cast<int64_t>(tasks.size()),
         [&](int64_t i, TransformerModel &m) {
             const McTask &task = tasks[static_cast<size_t>(i)];
-            picks[static_cast<size_t>(i)] =
-                causal ? pickCausal(m, task, opts_)
-                       : pickBert(m, world_, task, opts_);
+            itemStatus[static_cast<size_t>(i)] = scoreWithPolicy([&] {
+                picks[static_cast<size_t>(i)] =
+                    causal ? pickCausal(m, task, opts_)
+                           : pickBert(m, world_, task, opts_);
+            });
         });
     EvalResult res;
+    Status firstFailure;
     for (size_t i = 0; i < tasks.size(); ++i) {
-        res.numCorrect += picks[i] == tasks[i].gold;
         ++res.numTasks;
+        if (!itemStatus[i].ok()) {
+            // Degraded items score as incorrect; the budget check
+            // below decides whether the run is still trustworthy.
+            ++res.numFailed;
+            if (firstFailure.ok())
+                firstFailure = itemStatus[i];
+            continue;
+        }
+        res.numCorrect += picks[i] == tasks[i].gold;
     }
     res.accuracy = static_cast<double>(res.numCorrect) / res.numTasks;
     model_.clearCache();
+    enforceFailureBudget("eval", res.numFailed, res.numTasks,
+                         firstFailure);
     return res;
 }
 
@@ -207,21 +258,34 @@ Evaluator::runGen()
     const auto tasks = makeGsm8kTasks(world_, opts_.numTasks, opts_.seed);
     const bool causal = model_.config().arch == Arch::LlamaStyle;
     std::vector<uint8_t> correct(tasks.size(), 0);
+    std::vector<Status> itemStatus(tasks.size());
     forEachItemParallel(
         static_cast<int64_t>(tasks.size()),
         [&](int64_t i, TransformerModel &m) {
-            correct[static_cast<size_t>(i)] =
-                solveGen(m, world_, tasks[static_cast<size_t>(i)], causal)
-                    ? 1
-                    : 0;
+            itemStatus[static_cast<size_t>(i)] = scoreWithPolicy([&] {
+                correct[static_cast<size_t>(i)] =
+                    solveGen(m, world_, tasks[static_cast<size_t>(i)],
+                             causal)
+                        ? 1
+                        : 0;
+            });
         });
     EvalResult res;
+    Status firstFailure;
     for (size_t i = 0; i < tasks.size(); ++i) {
-        res.numCorrect += correct[i] != 0;
         ++res.numTasks;
+        if (!itemStatus[i].ok()) {
+            ++res.numFailed;
+            if (firstFailure.ok())
+                firstFailure = itemStatus[i];
+            continue;
+        }
+        res.numCorrect += correct[i] != 0;
     }
     res.accuracy = static_cast<double>(res.numCorrect) / res.numTasks;
     model_.clearCache();
+    enforceFailureBudget("eval", res.numFailed, res.numTasks,
+                         firstFailure);
     return res;
 }
 

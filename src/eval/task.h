@@ -36,6 +36,8 @@ struct EvalResult
     double accuracy = 0.0; ///< Fraction correct in [0, 1].
     int numTasks = 0;
     int numCorrect = 0;
+    /** Items that faulted and were degraded (scored as incorrect). */
+    int numFailed = 0;
 };
 
 } // namespace lrd

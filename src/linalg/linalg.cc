@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "robust/fault.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -138,13 +139,21 @@ symmetricEigen(const Tensor &s, int maxSweeps)
     struct JacobiMetrics
     {
         Counter *sweeps;
+        Counter *nonconverged;
         Histogram *sweepsPerCall;
     };
     static JacobiMetrics jm = [] {
         MetricsRegistry &reg = MetricsRegistry::instance();
         return JacobiMetrics{reg.counter("jacobi.sweeps"),
+                             reg.counter("jacobi.nonconverged"),
                              reg.histogram("jacobi.sweepsPerCall")};
     }();
+
+    // Injected non-convergence: run zero sweeps so the loop exits with
+    // the off-diagonal norm untouched and the status path below fires.
+    const bool forceNonConverge = faultAt("jacobi", FaultKind::NonConverge);
+    if (forceNonConverge)
+        maxSweeps = 0;
 
     // Evaluate the off-diagonal norm once up front and once after each
     // sweep: the same sequence of off() evaluations as the plain
@@ -216,6 +225,15 @@ symmetricEigen(const Tensor &s, int maxSweeps)
     }
     jm.sweepsPerCall->record(sweepsDone);
 
+    Status convergence;
+    if (forceNonConverge || offNow > tol) {
+        jm.nonconverged->inc();
+        convergence = Status(
+            StatusCode::NonConvergence, "jacobi",
+            strCat("off-diagonal norm ", offNow, " above tolerance ", tol,
+                   " after ", sweepsDone, " sweeps"));
+    }
+
     // Sort descending by eigenvalue.
     std::vector<int64_t> order(static_cast<size_t>(n));
     std::iota(order.begin(), order.end(), 0);
@@ -225,6 +243,8 @@ symmetricEigen(const Tensor &s, int maxSweeps)
     });
 
     EigenResult out;
+    out.status = std::move(convergence);
+    out.sweeps = sweepsDone;
     out.values.resize(static_cast<size_t>(n));
     out.vectors = Tensor({n, n});
     for (int64_t j = 0; j < n; ++j) {
@@ -265,6 +285,7 @@ svdShortFat(const Tensor &a)
     EigenResult eig = symmetricEigen(gram);
 
     SvdResult out;
+    out.status = eig.status;
     out.u = eig.vectors; // (m x m)
     out.s.resize(static_cast<size_t>(m));
     for (int64_t i = 0; i < m; ++i)
@@ -301,6 +322,7 @@ svd(const Tensor &a)
     // Tall: factor the transpose and swap U <-> V.
     SvdResult t = svdShortFat(transpose2d(a));
     SvdResult out;
+    out.status = std::move(t.status);
     out.u = std::move(t.v);
     out.v = std::move(t.u);
     out.s = std::move(t.s);
@@ -317,6 +339,7 @@ truncatedSvd(const Tensor &a, int64_t k)
                    shapeToString(a.shape())));
     SvdResult full = svd(a);
     SvdResult out;
+    out.status = std::move(full.status);
     out.u = Tensor({m, k});
     out.v = Tensor({n, k});
     out.s.assign(full.s.begin(), full.s.begin() + k);
@@ -330,7 +353,7 @@ truncatedSvd(const Tensor &a, int64_t k)
 }
 
 Tensor
-leftSingularVectors(const Tensor &a, int64_t k)
+leftSingularVectors(const Tensor &a, int64_t k, Status *convergence)
 {
     require(a.rank() == 2, "leftSingularVectors: input must be a matrix");
     require(k >= 1 && k <= a.dim(0),
@@ -339,6 +362,8 @@ leftSingularVectors(const Tensor &a, int64_t k)
     // Always via the (m x m) Gram matrix: we only need U.
     Tensor gram = matmulTransB(a, a);
     EigenResult eig = symmetricEigen(gram);
+    if (convergence != nullptr && convergence->ok() && !eig.status.ok())
+        *convergence = eig.status;
     Tensor u({a.dim(0), k});
     for (int64_t i = 0; i < a.dim(0); ++i)
         for (int64_t j = 0; j < k; ++j)
@@ -373,6 +398,7 @@ randomizedSvd(const Tensor &a, int64_t k, Rng &rng, int64_t oversample,
     SvdResult small = truncatedSvd(b, k);
 
     SvdResult out;
+    out.status = std::move(small.status);
     out.u = matmul(q, small.u);
     out.s = std::move(small.s);
     out.v = std::move(small.v);

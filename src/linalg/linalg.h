@@ -12,6 +12,7 @@
 #define LRD_LINALG_LINALG_H
 
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace lrd {
 
@@ -31,10 +32,18 @@ struct EigenResult
 {
     std::vector<double> values; ///< Eigenvalues, descending.
     Tensor vectors;             ///< Columns are eigenvectors (n x n).
+    Status status;              ///< NonConvergence when sweeps ran out.
+    int sweeps = 0;             ///< Jacobi sweeps actually performed.
 };
 
 /**
  * Cyclic Jacobi eigendecomposition of a symmetric matrix.
+ *
+ * When the off-diagonal norm is still above tolerance after maxSweeps,
+ * the factors computed so far are returned with a NonConvergence
+ * status (site "jacobi") — callers decide whether a best-effort
+ * factorization is usable.
+ *
  * @param s Symmetric (n x n) matrix; symmetry is enforced by averaging.
  */
 EigenResult symmetricEigen(const Tensor &s, int maxSweeps = 60);
@@ -46,6 +55,7 @@ struct SvdResult
     Tensor u;                     ///< Left singular vectors (m x k).
     std::vector<double> s;        ///< Singular values, descending.
     Tensor v;                     ///< Right singular vectors (n x k).
+    Status status;                ///< Propagated Jacobi convergence.
 
     /** Reconstruct U diag(s) V^T. */
     Tensor reconstruct() const;
@@ -67,9 +77,11 @@ SvdResult truncatedSvd(const Tensor &a, int64_t k);
 /**
  * Top-k left singular vectors of A — the `SVD(k, .)` primitive in
  * Algorithm 1 (HOI). Returns an (m x k) matrix with orthonormal
- * columns.
+ * columns. When `convergence` is non-null it receives the underlying
+ * Jacobi status (first failure wins if the caller reuses one slot).
  */
-Tensor leftSingularVectors(const Tensor &a, int64_t k);
+Tensor leftSingularVectors(const Tensor &a, int64_t k,
+                           Status *convergence = nullptr);
 
 /**
  * Randomized truncated SVD (Halko-Martinsson-Tropp range finder with

@@ -139,14 +139,28 @@ DecompConfig::parameterReduction(const ModelConfig &cfg) const
            / static_cast<double>(cfg.totalParams());
 }
 
-void
+Status
 DecompConfig::applyTo(TransformerModel &model) const
 {
     std::string why;
     require(valid(model.config(), &why),
             "DecompConfig::applyTo: invalid configuration: " + why);
-    for (const PrunedRankEntry &e : prunedRanks())
-        model.applyTucker(e.layer, e.kind, e.rank);
+    Status first;
+    int64_t numFailed = 0;
+    for (const PrunedRankEntry &e : prunedRanks()) {
+        Status s = model.applyTucker(e.layer, e.kind, e.rank);
+        if (!s.ok()) {
+            ++numFailed;
+            if (first.ok())
+                first = std::move(s);
+        }
+    }
+    if (numFailed > 0)
+        return Status(first.code(), "decomp.apply",
+                      strCat(numFailed, " of ", prunedRanks().size(),
+                             " tensors left dense; first: ",
+                             first.toString()));
+    return Status();
 }
 
 std::string

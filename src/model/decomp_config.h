@@ -84,8 +84,14 @@ struct DecompConfig
      */
     double parameterReduction(const ModelConfig &cfg) const;
 
-    /** Factorize the selected weights of a live model in place. */
-    void applyTo(TransformerModel &model) const;
+    /**
+     * Factorize the selected weights of a live model in place. An
+     * invalid configuration is fatal; a tensor whose SVD fails to
+     * converge is resolved by the recovery policy — under degrade the
+     * tensor stays dense and the first failure's status is returned
+     * (the model remains consistent and usable).
+     */
+    Status applyTo(TransformerModel &model) const;
 
     /** "layers={3,18,32} tensors=all pr=1" style summary. */
     std::string describe() const;

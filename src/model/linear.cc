@@ -4,10 +4,48 @@
 
 #include "decomp/tucker.h"
 #include "obs/metrics.h"
+#include "robust/recovery.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
 namespace lrd {
+
+namespace {
+
+/**
+ * Resolve a failed decomposition per the recovery policy: bounded
+ * deterministic re-attempts under retry (injected faults are consumed
+ * by their occurrence counters, so a retry can genuinely clear), fatal
+ * under strict, and a degraded-but-usable dense layer otherwise.
+ */
+template <class Decompose>
+Tucker2d
+decomposeWithPolicy(const Decompose &decompose, const std::string &name)
+{
+    Tucker2d d = decompose();
+    if (d.status.ok())
+        return d;
+    const RobustPolicy policy = robustPolicy();
+    if (policy.mode == RobustMode::Retry) {
+        for (int attempt = 0; attempt < policy.maxRetries && !d.status.ok();
+             ++attempt) {
+            noteRetry();
+            d = decompose();
+        }
+        if (d.status.ok())
+            return d;
+    }
+    if (policy.mode == RobustMode::Strict)
+        fatal("Linear::factorize(" + name + "): " + d.status.toString());
+    static Counter *degraded = MetricsRegistry::instance().counter(
+        "robust.degradedFactorizations");
+    degraded->inc();
+    warn("Linear::factorize(" + name + "): keeping dense weight; "
+         + d.status.toString());
+    return d;
+}
+
+} // namespace
 
 Linear::Linear(int64_t outDim, int64_t inDim, bool hasBias,
                const std::string &name, Rng &rng)
@@ -92,11 +130,14 @@ Linear::backward(const Tensor &dy)
     return matmul(dT1, u2_.value);
 }
 
-void
+Status
 Linear::factorize(int64_t prunedRank)
 {
     require(!factorized_, "Linear::factorize: already factorized");
-    Tucker2d d = tucker2dDecompose(w_.value, prunedRank);
+    Tucker2d d = decomposeWithPolicy(
+        [&] { return tucker2dDecompose(w_.value, prunedRank); }, w_.name);
+    if (!d.status.ok())
+        return d.status;
     prunedRank_ = prunedRank;
     const std::string base = w_.name;
     u1_ = Parameter(base + ".u1", std::move(d.u1));
@@ -104,9 +145,10 @@ Linear::factorize(int64_t prunedRank)
     u2_ = Parameter(base + ".u2", std::move(d.u2));
     w_ = Parameter(base, Tensor({0}));
     factorized_ = true;
+    return Status();
 }
 
-void
+Status
 Linear::factorizeActivationAware(int64_t prunedRank,
                                  const std::vector<float> &colScale)
 {
@@ -126,7 +168,10 @@ Linear::factorizeActivationAware(int64_t prunedRank,
         for (int64_t c = 0; c < inDim_; ++c)
             row[c] *= colScale[static_cast<size_t>(c)];
     }
-    Tucker2d d = tucker2dDecompose(scaled, prunedRank);
+    Tucker2d d = decomposeWithPolicy(
+        [&] { return tucker2dDecompose(scaled, prunedRank); }, w_.name);
+    if (!d.status.ok())
+        return d.status;
     for (int64_t r = 0; r < prunedRank; ++r) {
         float *row = d.u2.data() + r * inDim_;
         for (int64_t c = 0; c < inDim_; ++c)
@@ -139,6 +184,7 @@ Linear::factorizeActivationAware(int64_t prunedRank,
     u2_ = Parameter(base + ".u2", std::move(d.u2));
     w_ = Parameter(base, Tensor({0}));
     factorized_ = true;
+    return Status();
 }
 
 void

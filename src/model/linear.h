@@ -22,6 +22,7 @@
 #include "model/parameter.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace lrd {
 
@@ -52,19 +53,26 @@ class Linear
 
     /**
      * Replace the dense weight by its rank-pruned Tucker factors.
+     *
+     * A non-converged SVD is resolved by the active recovery policy:
+     * strict fails fast, retry re-attempts a bounded number of times,
+     * and degrade keeps the dense weight and returns the
+     * NonConvergence status (the layer stays usable).
+     *
      * @param prunedRank Pruned rank in [1, min(out, in)].
      */
-    void factorize(int64_t prunedRank);
+    Status factorize(int64_t prunedRank);
 
     /**
      * Activation-aware factorization (ASVD-style): decompose
      * W * diag(colScale) and fold diag(1/colScale) back into U2, so
      * the truncation error is weighted by how strongly each input
-     * feature is actually driven at inference time.
+     * feature is actually driven at inference time. Recovery policy
+     * as in factorize().
      * @param colScale Positive per-input-feature scales (size in).
      */
-    void factorizeActivationAware(int64_t prunedRank,
-                                  const std::vector<float> &colScale);
+    Status factorizeActivationAware(int64_t prunedRank,
+                                    const std::vector<float> &colScale);
 
     /**
      * Switch to factorized layout with zero-initialized factors of

@@ -1,13 +1,35 @@
 #include "transformer.h"
 
 #include <cmath>
+#include <limits>
 #include <tuple>
 
+#include "robust/fault.h"
+#include "robust/recovery.h"
 #include "tensor/ops.h"
 #include "util/cache.h"
 #include "util/logging.h"
 
 namespace lrd {
+
+namespace {
+
+/**
+ * Layer-boundary guard: report the first non-finite activation with
+ * the layer that produced it. The "model.block" nan fault poisons one
+ * element first, so the guard path itself is exercisable in tests.
+ */
+void
+guardBlockOutput(Tensor &h, int64_t layerIdx)
+{
+    if (faultAt("model.block", FaultKind::Nan) && h.size() > 0)
+        h[0] = std::numeric_limits<float>::quiet_NaN();
+    const int64_t bad = firstNonFinite(h.data(), h.size());
+    if (bad >= 0)
+        reportNonFinite("model.block", layerIdx, bad);
+}
+
+} // namespace
 
 TransformerBlock::TransformerBlock(const ModelConfig &cfg, int64_t layerIdx,
                                    Rng &rng)
@@ -151,8 +173,10 @@ TransformerModel::forward(const TokenSeq &tokens)
             strCat("TransformerModel::forward: sequence length ",
                    tokens.size(), " exceeds maxSeq ", cfg_.maxSeq));
     Tensor h = embedding_->forward(tokens);
-    for (auto &block : blocks_)
-        h = block->forward(h);
+    for (size_t l = 0; l < blocks_.size(); ++l) {
+        h = blocks_[l]->forward(h);
+        guardBlockOutput(h, static_cast<int64_t>(l));
+    }
     if (finalNorm_)
         h = finalNorm_->forward(h);
     return lmHead_->forward(h);
@@ -259,11 +283,11 @@ TransformerModel::linear(int64_t layer, WeightKind kind)
     return blocks_[static_cast<size_t>(layer)]->linear(kind);
 }
 
-void
+Status
 TransformerModel::applyTucker(int64_t layer, WeightKind kind,
                               int64_t prunedRank)
 {
-    linear(layer, kind).factorize(prunedRank);
+    return linear(layer, kind).factorize(prunedRank);
 }
 
 int64_t
@@ -414,9 +438,11 @@ InferenceSession::append(const TokenSeq &tokens)
                 <= model_->config().maxSeq,
             "InferenceSession::append: exceeds maxSeq");
     Tensor h = model_->embedding_->forward(tokens, start);
-    for (int64_t l = 0; l < model_->numLayers(); ++l)
+    for (int64_t l = 0; l < model_->numLayers(); ++l) {
         h = model_->blocks_[static_cast<size_t>(l)]->forwardCached(
             h, caches_[static_cast<size_t>(l)]);
+        guardBlockOutput(h, l);
+    }
     h = model_->finalNorm_->forward(h);
     Tensor logits = model_->lmHead_->forward(h);
     // Return the last row only.

@@ -88,9 +88,11 @@ class TransformerModel
 
     /**
      * Factorize one weight with the given pruned rank (the paper's
-     * per-tensor decomposition step).
+     * per-tensor decomposition step). Returns the factorization
+     * status; under the degrade policy a non-converged SVD leaves the
+     * tensor dense and reports NonConvergence.
      */
-    void applyTucker(int64_t layer, WeightKind kind, int64_t prunedRank);
+    Status applyTucker(int64_t layer, WeightKind kind, int64_t prunedRank);
 
     /** Live parameter count (drops after decomposition). */
     int64_t paramCount() const;

@@ -204,7 +204,7 @@ ThreadPool::parallelForChunks(int64_t begin, int64_t end, int64_t grain,
             }
         } catch (...) {
             tlInParallel = wasIn;
-            throw;
+            throw; // lrd-lint: allow(naked-throw) -- rethrow, not a report
         }
         tlInParallel = wasIn;
         return;

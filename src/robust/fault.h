@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic fault injection for exercising recovery paths.
+ *
+ * A fault is armed at a named site ("jacobi", "model.block",
+ * "ckpt.write", ...) with a kind and an nth occurrence; the nth call
+ * to faultAt(site, kind) — counted process-wide across threads —
+ * reports the fault to exactly one caller. Injection points are
+ * compiled in unconditionally but cost a single relaxed atomic load
+ * and branch while nothing is armed.
+ *
+ * Armed either programmatically (tests) or from the environment:
+ *
+ *   LRD_FAULT=<site>:<kind>[:<nth>][,<site>:<kind>[:<nth>]...]
+ *
+ * with kinds nan, nonconv, truncate, bitflip, alloc, cancel and nth
+ * defaulting to 1. setFault/clearFaults must not race with faultAt:
+ * arm faults before the work under test starts.
+ */
+
+#ifndef LRD_ROBUST_FAULT_H
+#define LRD_ROBUST_FAULT_H
+
+#include <string>
+
+#include "util/status.h"
+
+namespace lrd {
+
+/** What the armed fault does at its injection point. */
+enum class FaultKind : int
+{
+    Nan,         ///< Poison a value with a quiet NaN.
+    NonConverge, ///< Force an iterative kernel to report non-convergence.
+    Truncate,    ///< Cut a checkpoint file short (partial write).
+    BitFlip,     ///< Flip one payload bit after the CRC is computed.
+    Alloc,       ///< Simulate an allocation failure.
+    Cancel,      ///< Stop a long-running loop mid-way (simulated kill).
+};
+
+/** Stable lowercase name used in LRD_FAULT ("nonconv", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** One armed fault. */
+struct FaultSpec
+{
+    std::string site;
+    FaultKind kind = FaultKind::Nan;
+    int nth = 1; ///< 1-based occurrence that fires.
+};
+
+/** Parse "<site>:<kind>[:<nth>]". */
+Result<FaultSpec> parseFaultSpec(const std::string &text);
+
+/** Arm one fault (additive; multiple specs may be live at once). */
+void setFault(const FaultSpec &spec);
+
+/** Disarm everything and reset all occurrence counters. */
+void clearFaults();
+
+/** Arm every comma-separated spec in $LRD_FAULT (fatal on bad spec). */
+void initFaultsFromEnv();
+
+/** Whether any fault is armed (one relaxed atomic load). */
+bool faultInjectionEnabled();
+
+/**
+ * Count one occurrence at `site` for every armed spec of `kind`;
+ * returns true when this call is a spec's nth occurrence. The cheap
+ * disarmed path is a single atomic load + branch.
+ */
+bool faultAt(const char *site, FaultKind kind);
+
+} // namespace lrd
+
+#endif // LRD_ROBUST_FAULT_H

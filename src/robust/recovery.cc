@@ -1,0 +1,240 @@
+#include "robust/recovery.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace lrd {
+
+namespace {
+
+struct PolicyState
+{
+    std::mutex mu;
+    RobustPolicy policy;
+    bool initialized = false;
+};
+
+PolicyState &
+policyState()
+{
+    static PolicyState s;
+    return s;
+}
+
+thread_local bool tlHasFault = false;
+thread_local Status tlFault;
+
+/** Parse a strictly positive double, or -1 on failure. */
+double
+parseFraction(const std::string &text)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || end == nullptr || *end != '\0' || v < 0.0
+        || v > 1.0 || !std::isfinite(v))
+        return -1.0;
+    return v;
+}
+
+} // namespace
+
+const char *
+robustModeName(RobustMode mode)
+{
+    switch (mode) {
+    case RobustMode::Strict:
+        return "strict";
+    case RobustMode::Degrade:
+        return "degrade";
+    case RobustMode::Retry:
+        return "retry";
+    }
+    return "unknown";
+}
+
+Result<RobustPolicy>
+parseRobustPolicy(const std::string &text)
+{
+    RobustPolicy p;
+    const size_t c1 = text.find(':');
+    const std::string mode =
+        c1 == std::string::npos ? text : text.substr(0, c1);
+    std::string rest =
+        c1 == std::string::npos ? std::string() : text.substr(c1 + 1);
+
+    if (mode == "strict") {
+        p.mode = RobustMode::Strict;
+        if (!rest.empty())
+            return Status(StatusCode::InvalidArgument, "robust.parse",
+                          "strict takes no arguments");
+        return p;
+    }
+    if (mode == "degrade") {
+        p.mode = RobustMode::Degrade;
+        if (!rest.empty()) {
+            const double budget = parseFraction(rest);
+            if (budget < 0.0)
+                return Status(StatusCode::InvalidArgument, "robust.parse",
+                              "degrade budget must be a fraction in "
+                              "[0, 1], got '" + rest + "'");
+            p.failureBudget = budget;
+        }
+        return p;
+    }
+    if (mode == "retry") {
+        p.mode = RobustMode::Retry;
+        if (!rest.empty()) {
+            const size_t c2 = rest.find(':');
+            const std::string attempts =
+                c2 == std::string::npos ? rest : rest.substr(0, c2);
+            char *end = nullptr;
+            const long n = std::strtol(attempts.c_str(), &end, 10);
+            if (attempts.empty() || end == nullptr || *end != '\0'
+                || n < 1)
+                return Status(StatusCode::InvalidArgument, "robust.parse",
+                              "retry attempts must be a positive "
+                              "integer, got '" + attempts + "'");
+            p.maxRetries = static_cast<int>(n);
+            if (c2 != std::string::npos) {
+                const double budget = parseFraction(rest.substr(c2 + 1));
+                if (budget < 0.0)
+                    return Status(StatusCode::InvalidArgument,
+                                  "robust.parse",
+                                  "retry budget must be a fraction in "
+                                  "[0, 1]");
+                p.failureBudget = budget;
+            }
+        }
+        return p;
+    }
+    return Status(StatusCode::InvalidArgument, "robust.parse",
+                  "unknown mode '" + mode
+                      + "' (strict, degrade[:<budget>], "
+                        "retry[:<attempts>[:<budget>]])");
+}
+
+RobustPolicy
+robustPolicy()
+{
+    PolicyState &s = policyState();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.initialized) {
+        s.initialized = true;
+        const char *env = std::getenv("LRD_ROBUST");
+        if (env != nullptr && *env != '\0') {
+            Result<RobustPolicy> parsed = parseRobustPolicy(env);
+            require(parsed.ok(),
+                    "LRD_ROBUST: " + parsed.status().toString());
+            s.policy = parsed.value();
+        }
+    }
+    return s.policy;
+}
+
+void
+setRobustPolicy(const RobustPolicy &policy)
+{
+    PolicyState &s = policyState();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.policy = policy;
+    s.initialized = true;
+}
+
+int64_t
+failureBudgetItems(const RobustPolicy &policy, int64_t n)
+{
+    return static_cast<int64_t>(
+        std::ceil(policy.failureBudget * static_cast<double>(n)));
+}
+
+void
+enforceFailureBudget(const char *site, int64_t numFailed, int64_t total,
+                     const Status &example)
+{
+    if (numFailed == 0)
+        return;
+    static Counter *degraded =
+        MetricsRegistry::instance().counter("robust.degradedItems");
+    degraded->add(numFailed);
+    const RobustPolicy policy = robustPolicy();
+    const int64_t budget = failureBudgetItems(policy, total);
+    if (numFailed > budget)
+        fatal(strCat(site, ": ", numFailed, " of ", total,
+                     " items failed, exceeding the failure budget of ",
+                     budget, " (LRD_ROBUST=", robustModeName(policy.mode),
+                     ", budget ", policy.failureBudget, "); first: ",
+                     example.toString()));
+    warn(strCat(site, ": degraded ", numFailed, " of ", total,
+                " items (budget ", budget, "); first: ",
+                example.toString()));
+}
+
+void
+noteNumericFault(Status status)
+{
+    if (tlHasFault || status.ok())
+        return;
+    tlFault = std::move(status);
+    tlHasFault = true;
+}
+
+Status
+takeNumericFault()
+{
+    if (!tlHasFault)
+        return Status();
+    tlHasFault = false;
+    Status s = std::move(tlFault);
+    tlFault = Status();
+    return s;
+}
+
+bool
+numericFaultPending()
+{
+    return tlHasFault;
+}
+
+void
+noteRetry()
+{
+    static Counter *retries =
+        MetricsRegistry::instance().counter("robust.retries");
+    retries->inc();
+}
+
+int64_t
+firstNonFinite(const float *p, int64_t n)
+{
+    // |x| accumulation: any NaN or Inf poisons the sum, and the
+    // library's activation magnitudes cannot overflow a float sum.
+    float acc = 0.0F;
+    for (int64_t i = 0; i < n; ++i)
+        acc += std::fabs(p[i]);
+    if (std::isfinite(acc))
+        return -1;
+    for (int64_t i = 0; i < n; ++i)
+        if (!std::isfinite(p[i]))
+            return i;
+    return -1; // Sum overflowed without a non-finite element.
+}
+
+void
+reportNonFinite(const char *site, int64_t layer, int64_t index)
+{
+    static Counter *nonfinite =
+        MetricsRegistry::instance().counter("robust.nonfinite");
+    nonfinite->inc();
+    Status status(StatusCode::NonFinite, site,
+                  strCat("first non-finite value in layer ", layer,
+                         " at flat index ", index));
+    if (robustPolicy().mode == RobustMode::Strict)
+        fatal(status.toString());
+    noteNumericFault(std::move(status));
+}
+
+} // namespace lrd

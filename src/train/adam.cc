@@ -59,6 +59,46 @@ AdamW::step(double lrScale)
     }
 }
 
+void
+AdamW::serializeState(ByteWriter &w) const
+{
+    w.putU64(static_cast<uint64_t>(t_));
+    w.putU64(m_.size());
+    for (size_t k = 0; k < m_.size(); ++k) {
+        w.putFloats(m_[k].storage());
+        w.putFloats(v_[k].storage());
+    }
+}
+
+Status
+AdamW::restoreState(ByteReader &r)
+{
+    const auto t = static_cast<int64_t>(r.getU64());
+    const uint64_t count = r.getU64();
+    if (count != m_.size())
+        return Status(StatusCode::InvalidArgument, "adam.restore",
+                      strCat("checkpoint has ", count,
+                             " optimizer slots, this model has ",
+                             m_.size()));
+    std::vector<std::vector<float>> ms(count);
+    std::vector<std::vector<float>> vs(count);
+    for (size_t k = 0; k < count; ++k) {
+        ms[k] = r.getFloats();
+        vs[k] = r.getFloats();
+        if (ms[k].size() != m_[k].storage().size()
+            || vs[k].size() != v_[k].storage().size())
+            return Status(StatusCode::InvalidArgument, "adam.restore",
+                          strCat("optimizer slot ", k,
+                                 " shape mismatch against checkpoint"));
+    }
+    for (size_t k = 0; k < count; ++k) {
+        m_[k].storage() = std::move(ms[k]);
+        v_[k].storage() = std::move(vs[k]);
+    }
+    t_ = t;
+    return Status();
+}
+
 double
 cosineSchedule(int64_t step, int64_t warmupSteps, int64_t totalSteps,
                double minScale)

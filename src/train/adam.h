@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "model/parameter.h"
+#include "util/cache.h"
+#include "util/status.h"
 
 namespace lrd {
 
@@ -40,6 +42,15 @@ class AdamW
     double lastGradNorm() const { return lastGradNorm_; }
 
     int64_t stepCount() const { return t_; }
+
+    /** Append the moment estimates and step count to a checkpoint. */
+    void serializeState(ByteWriter &w) const;
+
+    /**
+     * Restore state written by serializeState. InvalidArgument when
+     * the checkpoint was taken with a different parameter list.
+     */
+    Status restoreState(ByteReader &r);
 
   private:
     std::vector<Parameter *> params_;

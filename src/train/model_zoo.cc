@@ -49,7 +49,11 @@ trainOrLoad(const ModelConfig &cfg)
     const TrainOptions t = zooTrainOptions(cfg.arch);
     const std::string key = zooCacheKey(cfg, t);
     if (cacheHas(key)) {
-        return TransformerModel::deserialize(cacheRead(key));
+        Result<std::vector<uint8_t>> cached = cacheRead(key);
+        if (cached.ok())
+            return TransformerModel::deserialize(cached.value());
+        warn("model zoo: " + cached.status().toString()
+             + "; retraining");
     }
     inform(strCat("model zoo: training ", cfg.name,
                   " from scratch (cached afterwards at ", cachePath(key),

@@ -6,10 +6,40 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "robust/checkpoint.h"
+#include "robust/fault.h"
+#include "robust/recovery.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace lrd {
+
+namespace {
+
+/** Payload-format version of trainer checkpoints. */
+constexpr uint32_t kTrainCkptVersion = 1;
+
+void
+putRngState(ByteWriter &w, const RngState &st)
+{
+    for (uint64_t s : st.s)
+        w.putU64(s);
+    w.putU32(st.hasCachedNormal ? 1 : 0);
+    w.putF64(st.cachedNormal);
+}
+
+RngState
+getRngState(ByteReader &r)
+{
+    RngState st;
+    for (uint64_t &s : st.s)
+        s = r.getU64();
+    st.hasCachedNormal = r.getU32() != 0;
+    st.cachedNormal = r.getF64();
+    return st;
+}
+
+} // namespace
 
 Trainer::Trainer(TransformerModel &model, const World &world,
                  TrainOptions opts)
@@ -70,12 +100,77 @@ extractGrads(const std::vector<Parameter *> &params,
 
 } // namespace
 
+void
+Trainer::writeTrainCheckpoint(const AdamW &optimizer, int nextStep)
+{
+    ByteWriter w;
+    w.putU64(static_cast<uint64_t>(nextStep));
+    w.putBytes(model_.serialize());
+    optimizer.serializeState(w);
+    putRngState(w, gen_.rng().state());
+    putRngState(w, maskRng_.state());
+    Status s =
+        writeCheckpoint(opts_.checkpointPath, kTrainCkptVersion, w.bytes());
+    if (!s.ok()) {
+        if (robustPolicy().mode == RobustMode::Strict)
+            fatal("trainer: checkpoint failed: " + s.toString());
+        warn("trainer: checkpoint skipped; " + s.toString());
+    }
+}
+
+Status
+Trainer::restoreFromCheckpoint(AdamW &optimizer, int &startStep)
+{
+    Result<std::vector<uint8_t>> payload = readCheckpointWithFallback(
+        opts_.checkpointPath, kTrainCkptVersion);
+    if (!payload.ok())
+        return payload.status();
+    ByteReader r(std::move(payload).value());
+    const auto nextStep = static_cast<int>(r.getU64());
+    TransformerModel restored = TransformerModel::deserialize(r.getBytes());
+    const auto restoredParams = restored.parameters();
+    const auto params = model_.parameters();
+    if (restoredParams.size() != params.size())
+        return Status(StatusCode::InvalidArgument, "train.resume",
+                      strCat("checkpoint has ", restoredParams.size(),
+                             " parameters, this model has ",
+                             params.size()));
+    for (size_t i = 0; i < params.size(); ++i)
+        if (restoredParams[i]->value.storage().size()
+            != params[i]->value.storage().size())
+            return Status(StatusCode::InvalidArgument, "train.resume",
+                          "parameter " + params[i]->name
+                              + " shape mismatch against checkpoint");
+    for (size_t i = 0; i < params.size(); ++i)
+        params[i]->value.storage() = restoredParams[i]->value.storage();
+    Status os = optimizer.restoreState(r);
+    if (!os.ok())
+        return os;
+    gen_.rng().setState(getRngState(r));
+    maskRng_.setState(getRngState(r));
+    startStep = nextStep;
+    return Status();
+}
+
 double
 Trainer::run()
 {
+    status_ = Status();
     AdamOptions aopts;
     aopts.lr = opts_.lr;
     AdamW optimizer(model_.parameters(), aopts);
+
+    int startStep = 0;
+    if (opts_.resume && !opts_.checkpointPath.empty()) {
+        Status rs = restoreFromCheckpoint(optimizer, startStep);
+        if (rs.ok())
+            inform(strCat("trainer: resumed ", opts_.checkpointPath,
+                          " at step ", startStep));
+        else if (rs.code() == StatusCode::NotFound)
+            inform("trainer: no checkpoint yet; starting fresh");
+        else
+            fatal("trainer: cannot resume: " + rs.toString());
+    }
 
     /*
      * Batch items are independent given the example stream, so each
@@ -107,10 +202,19 @@ Trainer::run()
     std::vector<std::vector<float>> itemGrads(
         static_cast<size_t>(opts_.batchSeqs));
     std::vector<double> itemLoss(static_cast<size_t>(opts_.batchSeqs));
+    std::vector<Status> itemStatus(static_cast<size_t>(opts_.batchSeqs));
 
     static Counter *stepCounter =
         MetricsRegistry::instance().counter("train.steps");
-    for (int step = 0; step < opts_.steps; ++step) {
+    for (int step = startStep; step < opts_.steps; ++step) {
+        if (faultAt("train.step", FaultKind::Cancel)) {
+            // Simulated kill: stop mid-run, leaving the last
+            // checkpoint as the resume point.
+            status_ = Status(StatusCode::Cancelled, "train.step",
+                             strCat("injected cancellation before step ",
+                                    step));
+            break;
+        }
         LRD_TRACE_SPAN("train.step");
         stepCounter->inc();
         for (int b = 0; b < opts_.batchSeqs; ++b)
@@ -138,19 +242,56 @@ Trainer::run()
             const auto params = m.parameters();
             for (int64_t b = lo; b < hi; ++b) {
                 LRD_TRACE_SPAN("train.item");
-                m.zeroGrad();
-                itemLoss[static_cast<size_t>(b)] = m.lossAndGrad(
-                    tokens[static_cast<size_t>(b)],
-                    targets[static_cast<size_t>(b)]);
-                extractGrads(params,
-                             itemGrads[static_cast<size_t>(b)]);
+                // The recovery policy resolves each item on the
+                // worker that owns it: the noted numeric fault (or a
+                // non-finite loss) marks the item's fixed slot, and
+                // retry re-runs the item in place — injected faults
+                // are consumed by their counters, so a retry clears.
+                takeNumericFault();
+                const RobustPolicy policy = robustPolicy();
+                const int attempts =
+                    policy.mode == RobustMode::Retry
+                        ? policy.maxRetries + 1
+                        : 1;
+                Status st;
+                for (int attempt = 0; attempt < attempts; ++attempt) {
+                    if (attempt > 0)
+                        noteRetry();
+                    m.zeroGrad();
+                    itemLoss[static_cast<size_t>(b)] = m.lossAndGrad(
+                        tokens[static_cast<size_t>(b)],
+                        targets[static_cast<size_t>(b)]);
+                    st = takeNumericFault();
+                    if (st.ok()
+                        && !std::isfinite(
+                            itemLoss[static_cast<size_t>(b)]))
+                        st = Status(
+                            StatusCode::NonFinite, "train.item",
+                            strCat("non-finite loss at batch item ", b));
+                    if (st.ok()) {
+                        extractGrads(params,
+                                     itemGrads[static_cast<size_t>(b)]);
+                        break;
+                    }
+                }
+                itemStatus[static_cast<size_t>(b)] = st;
             }
         });
 
         // Fixed-order reduction: grads and loss fold in item order.
+        // Failed items are skipped entirely, so the summation tree for
+        // the surviving items is still identical at every thread count.
         model_.zeroGrad();
         double lossSum = 0.0;
+        int numGood = 0;
+        Status firstBad;
         for (int b = 0; b < opts_.batchSeqs; ++b) {
+            if (!itemStatus[static_cast<size_t>(b)].ok()) {
+                if (firstBad.ok())
+                    firstBad = itemStatus[static_cast<size_t>(b)];
+                continue;
+            }
+            ++numGood;
             const std::vector<float> &g =
                 itemGrads[static_cast<size_t>(b)];
             size_t off = 0;
@@ -161,13 +302,27 @@ Trainer::run()
             }
             lossSum += itemLoss[static_cast<size_t>(b)];
         }
-        // Average the accumulated gradients over the batch.
+        if (!firstBad.ok()) {
+            if (robustPolicy().mode == RobustMode::Strict)
+                fatal("trainer: " + firstBad.toString());
+            require(numGood > 0,
+                    "trainer: every batch item failed at step "
+                        + strCat(step, "; first: ", firstBad.toString()));
+            enforceFailureBudget("train.step",
+                                 opts_.batchSeqs - numGood,
+                                 opts_.batchSeqs, firstBad);
+        }
+        // Average the accumulated gradients over the surviving items.
         for (Parameter *p : masterParams)
             for (int64_t i = 0; i < p->grad.size(); ++i)
-                p->grad[i] /= static_cast<float>(opts_.batchSeqs);
-        lastLoss = lossSum / opts_.batchSeqs;
+                p->grad[i] /= static_cast<float>(numGood);
+        lastLoss = lossSum / numGood;
         optimizer.step(
             cosineSchedule(step, opts_.warmupSteps, opts_.steps));
+        const int next = step + 1;
+        if (!opts_.checkpointPath.empty() && opts_.checkpointEvery > 0
+            && (next % opts_.checkpointEvery == 0 || next == opts_.steps))
+            writeTrainCheckpoint(optimizer, next);
         if (opts_.logEvery > 0
             && (step % opts_.logEvery == 0 || step == opts_.steps - 1)) {
             inform(strCat("train[", model_.config().name, "] step ", step,

@@ -24,9 +24,23 @@ struct TrainOptions
     double mlmProb = 0.15;  ///< BERT-style masking probability.
     uint64_t seed = 31337;
     int logEvery = 100;     ///< 0 disables progress logging.
+
+    /** Checkpoint file; empty disables checkpointing. */
+    std::string checkpointPath;
+    /** Steps between checkpoints (0 disables; final step included). */
+    int checkpointEvery = 0;
+    /** Resume from checkpointPath when it exists. */
+    bool resume = false;
 };
 
-/** Drives AdamW over the synthetic corpus. */
+/**
+ * Drives AdamW over the synthetic corpus.
+ *
+ * With checkpointing enabled, the full training state — weights,
+ * optimizer moments, and both RNG streams — is snapshotted, so an
+ * interrupted run resumed from its last checkpoint produces bitwise
+ * the same model as the uninterrupted run at any LRD_THREADS.
+ */
 class Trainer
 {
   public:
@@ -38,15 +52,33 @@ class Trainer
     /** Mean loss over `numDocs` held-out documents (no grads). */
     double evalLoss(int numDocs, uint64_t seed = 555);
 
+    /**
+     * Status of the last run(): ok on full completion, Cancelled when
+     * an injected "train.step" cancel stopped the loop early (the
+     * checkpoint on disk then carries the completed prefix).
+     */
+    const Status &runStatus() const { return status_; }
+
   private:
     /** Build (tokens, targets) for one training sequence. */
     void makeExample(TokenSeq &tokens, std::vector<int> &targets);
+
+    /** Write the full training state for resumption after `nextStep`. */
+    void writeTrainCheckpoint(const AdamW &optimizer, int nextStep);
+
+    /**
+     * Restore state from opts_.checkpointPath (falling back to the
+     * rotated previous checkpoint). Sets startStep; NotFound leaves
+     * the fresh-start state untouched.
+     */
+    Status restoreFromCheckpoint(AdamW &optimizer, int &startStep);
 
     TransformerModel &model_;
     const World &world_;
     TrainOptions opts_;
     CorpusGenerator gen_;
     Rng maskRng_;
+    Status status_;
 };
 
 } // namespace lrd

@@ -58,18 +58,22 @@ cacheWrite(const std::string &name, const std::vector<uint8_t> &bytes)
     require(!ec, "cacheWrite: rename failed: " + ec.message());
 }
 
-std::vector<uint8_t>
+Result<std::vector<uint8_t>>
 cacheRead(const std::string &name)
 {
     const std::string path = cachePath(name);
     std::ifstream ifs(path, std::ios::binary | std::ios::ate);
-    require(static_cast<bool>(ifs), "cacheRead: missing entry " + path);
+    if (!ifs)
+        return Status(StatusCode::NotFound, "cache.read",
+                      "missing entry " + path);
     const auto size = static_cast<size_t>(ifs.tellg());
     ifs.seekg(0);
     std::vector<uint8_t> bytes(size);
     ifs.read(reinterpret_cast<char *>(bytes.data()),
              static_cast<std::streamsize>(size));
-    require(static_cast<bool>(ifs), "cacheRead: short read from " + path);
+    if (!ifs)
+        return Status(StatusCode::DataLoss, "cache.read",
+                      "short read from " + path);
     return bytes;
 }
 
@@ -103,6 +107,14 @@ ByteWriter::putF32(float v)
 }
 
 void
+ByteWriter::putF64(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(bits);
+}
+
+void
 ByteWriter::putString(const std::string &s)
 {
     putU64(s.size());
@@ -116,6 +128,13 @@ ByteWriter::putFloats(const std::vector<float> &v)
     const size_t off = buf_.size();
     buf_.resize(off + v.size() * sizeof(float));
     std::memcpy(buf_.data() + off, v.data(), v.size() * sizeof(float));
+}
+
+void
+ByteWriter::putBytes(const std::vector<uint8_t> &v)
+{
+    putU64(v.size());
+    buf_.insert(buf_.end(), v.begin(), v.end());
 }
 
 ByteReader::ByteReader(std::vector<uint8_t> bytes) : buf_(std::move(bytes)) {}
@@ -158,6 +177,15 @@ ByteReader::getF32()
     return v;
 }
 
+double
+ByteReader::getF64()
+{
+    uint64_t bits = getU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
 std::string
 ByteReader::getString()
 {
@@ -176,6 +204,17 @@ ByteReader::getFloats()
     std::vector<float> v(n);
     std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(float));
     pos_ += n * sizeof(float);
+    return v;
+}
+
+std::vector<uint8_t>
+ByteReader::getBytes()
+{
+    const uint64_t n = getU64();
+    need(n);
+    std::vector<uint8_t> v(buf_.begin() + static_cast<long>(pos_),
+                           buf_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
     return v;
 }
 

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace lrd {
 
 /** Directory used for cached artifacts; created on first use. */
@@ -26,8 +28,8 @@ bool cacheHas(const std::string &name);
 /** Write a raw byte blob to a named entry (atomic via rename). */
 void cacheWrite(const std::string &name, const std::vector<uint8_t> &bytes);
 
-/** Read a named entry. @throws std::runtime_error if missing. */
-std::vector<uint8_t> cacheRead(const std::string &name);
+/** Read a named entry; NotFound status when missing or unreadable. */
+Result<std::vector<uint8_t>> cacheRead(const std::string &name);
 
 /** Remove a named entry if present. */
 void cacheErase(const std::string &name);
@@ -42,8 +44,10 @@ class ByteWriter
     void putU32(uint32_t v);
     void putU64(uint64_t v);
     void putF32(float v);
+    void putF64(double v);
     void putString(const std::string &s);
     void putFloats(const std::vector<float> &v);
+    void putBytes(const std::vector<uint8_t> &v);
     const std::vector<uint8_t> &bytes() const { return buf_; }
 
   private:
@@ -58,8 +62,10 @@ class ByteReader
     uint32_t getU32();
     uint64_t getU64();
     float getF32();
+    double getF64();
     std::string getString();
     std::vector<float> getFloats();
+    std::vector<uint8_t> getBytes();
     bool atEnd() const { return pos_ == buf_.size(); }
 
   private:

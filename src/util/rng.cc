@@ -130,4 +130,24 @@ Rng::split()
     return Rng(next() ^ 0xA3C59AC2EB0AA5F7ULL);
 }
 
+RngState
+Rng::state() const
+{
+    RngState st;
+    for (size_t i = 0; i < st.s.size(); ++i)
+        st.s[i] = s_[i];
+    st.hasCachedNormal = hasCachedNormal_;
+    st.cachedNormal = cachedNormal_;
+    return st;
+}
+
+void
+Rng::setState(const RngState &state)
+{
+    for (size_t i = 0; i < state.s.size(); ++i)
+        s_[i] = state.s[i];
+    hasCachedNormal_ = state.hasCachedNormal;
+    cachedNormal_ = state.cachedNormal;
+}
+
 } // namespace lrd

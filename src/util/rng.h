@@ -10,12 +10,21 @@
 #ifndef LRD_UTIL_RNG_H
 #define LRD_UTIL_RNG_H
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
 namespace lrd {
+
+/** Complete serializable Rng state (see Rng::state / Rng::setState). */
+struct RngState
+{
+    std::array<uint64_t, 4> s{};
+    bool hasCachedNormal = false;
+    double cachedNormal = 0.0;
+};
 
 /**
  * Xoshiro256** pseudo-random generator seeded via SplitMix64.
@@ -69,6 +78,14 @@ class Rng
 
     /** Split off an independent child generator (for parallel streams). */
     Rng split();
+
+    /**
+     * Snapshot / restore the full generator state, including the
+     * Box-Muller cache, so a checkpointed pipeline resumes with a
+     * bitwise-identical draw sequence.
+     */
+    RngState state() const;
+    void setState(const RngState &state);
 
   private:
     uint64_t s_[4];

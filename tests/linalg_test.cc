@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "linalg/linalg.h"
+#include "robust/fault.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 
@@ -244,6 +245,36 @@ TEST_P(SvdProperty, ReconstructionAndOrdering)
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomShapes, SvdProperty, ::testing::Range(0, 16));
+
+TEST(Eigen, ConvergedDecompositionReportsOkStatus)
+{
+    Rng rng(55);
+    Tensor b = Tensor::randn({6, 6}, rng);
+    Tensor a = matmulTransB(b, b); // symmetric PSD
+    const EigenResult e = symmetricEigen(a);
+    EXPECT_TRUE(e.status.ok());
+    EXPECT_GT(e.sweeps, 0);
+}
+
+TEST(Eigen, InjectedNonConvergenceIsReportedNotSilent)
+{
+    clearFaults();
+    Rng rng(56);
+    Tensor b = Tensor::randn({6, 6}, rng);
+    Tensor a = matmulTransB(b, b);
+
+    setFault(FaultSpec{"jacobi", FaultKind::NonConverge, 1});
+    const EigenResult e = symmetricEigen(a);
+    clearFaults();
+    EXPECT_EQ(e.status.code(), StatusCode::NonConvergence);
+    EXPECT_STREQ(e.status.site(), "jacobi");
+
+    // The status propagates through the SVD wrappers.
+    setFault(FaultSpec{"jacobi", FaultKind::NonConverge, 1});
+    const SvdResult s = truncatedSvd(Tensor::randn({8, 5}, rng), 3);
+    clearFaults();
+    EXPECT_EQ(s.status.code(), StatusCode::NonConvergence);
+}
 
 } // namespace
 } // namespace lrd

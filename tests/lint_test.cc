@@ -201,6 +201,39 @@ TEST(LintGlobals, FunctionBodiesAndDeclarationsAreNotGlobals)
     EXPECT_TRUE(diags.empty());
 }
 
+// ------------------------------------------------------------ naked throw
+
+TEST(LintThrow, FlaggedOutsideUtilAndSuppressible)
+{
+    const auto diags = lintSnippet("src/linalg/linalg.cc", R"(
+        void f() { throw std::runtime_error("late"); }
+    )");
+    const Diagnostic *d = findRule(diags, kRuleNakedThrow);
+    ASSERT_NE(nullptr, d);
+    EXPECT_NE(std::string::npos, d->message.find("Status"));
+
+    const auto ok = lintSnippet("src/linalg/linalg.cc", R"(
+        void f() {
+            throw std::runtime_error("x"); // lrd-lint: allow(naked-throw)
+        }
+    )");
+    EXPECT_FALSE(hasRule(ok, kRuleNakedThrow));
+}
+
+TEST(LintThrow, UtilAndNonSrcTreesAreExempt)
+{
+    const std::string snippet = "void f() { throw 1; }";
+    EXPECT_FALSE(
+        hasRule(lintSnippet("src/util/logging.cc", snippet),
+                kRuleNakedThrow));
+    EXPECT_FALSE(hasRule(lintSnippet("tests/some_test.cc", snippet),
+                         kRuleNakedThrow));
+    EXPECT_TRUE(hasRule(lintSnippet("src/robust/fault.cc", snippet),
+                        kRuleNakedThrow));
+    EXPECT_TRUE(hasRule(lintSnippet("src/train/trainer.cc", snippet),
+                        kRuleNakedThrow));
+}
+
 // ----------------------------------------------------------- header rules
 
 TEST(LintHeader, MissingGuardFlagged)
@@ -290,6 +323,25 @@ TEST(LintLayering, FileIncludeCyclePrintsThePath)
     EXPECT_NE(std::string::npos,
               d->message.find("src/tensor/a.h -> src/tensor/b.h -> "
                               "src/tensor/c.h -> src/tensor/a.h"));
+}
+
+TEST(LintLayering, RobustSitsBetweenObsAndParallel)
+{
+    // robust (layer 2) may use obs, but not the pool above it.
+    const std::vector<SourceFile> ok = {
+        {"src/robust/fault.cc", "#include \"obs/metrics.h\"\n"},
+        {"src/obs/metrics.h", "#pragma once\n"},
+        {"src/linalg/linalg.cc", "#include \"robust/fault.h\"\n"},
+        {"src/robust/fault.h", "#pragma once\n"},
+    };
+    EXPECT_TRUE(checkIncludeGraph(ok).empty());
+
+    const std::vector<SourceFile> bad = {
+        {"src/robust/recovery.cc",
+         "#include \"parallel/thread_pool.h\"\n"},
+        {"src/parallel/thread_pool.h", "#pragma once\n"},
+    };
+    EXPECT_TRUE(hasRule(checkIncludeGraph(bad), kRuleLayering));
 }
 
 TEST(LintLayering, SystemIncludesAreOutsideTheGraph)

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Unit tests for the fault-tolerance layer: Status/Result semantics,
+ * the fault-injection harness, CRC-protected checkpoints (including
+ * injected truncation/bit-flip/allocation failures), numeric-fault
+ * detection, the failure budget, and retry-with-reseed determinism.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "robust/checkpoint.h"
+#include "robust/fault.h"
+#include "robust/recovery.h"
+#include "robust/retry.h"
+#include "util/status.h"
+
+using namespace lrd;
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Restores the default policy and disarms faults on scope exit. */
+struct RobustGuard
+{
+    RobustGuard() { reset(); }
+    ~RobustGuard() { reset(); }
+
+    static void reset()
+    {
+        clearFaults();
+        setRobustPolicy(RobustPolicy{});
+        takeNumericFault();
+    }
+};
+
+/** Fresh checkpoint path (primary, .prev and .tmp all removed). */
+std::string
+ckptPath(const std::string &name)
+{
+    const fs::path p = fs::temp_directory_path() / name;
+    fs::remove(p);
+    fs::remove(p.string() + ".prev");
+    fs::remove(p.string() + ".tmp");
+    return p.string();
+}
+
+} // namespace
+
+TEST(Status, DefaultIsOkAndHeapFree)
+{
+    const Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_EQ(s.toString(), "ok");
+}
+
+TEST(Status, ToStringCarriesCodeSiteAndMessage)
+{
+    const Status s(StatusCode::NonConvergence, "jacobi", "stuck");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.toString(), "non-convergence at jacobi: stuck");
+    EXPECT_STREQ(statusCodeName(StatusCode::DataLoss), "data-loss");
+}
+
+TEST(Result, HoldsValueOrStatus)
+{
+    const Result<int> good(42);
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value(), 42);
+    EXPECT_EQ(good.valueOr(7), 42);
+
+    const Result<int> bad(Status(StatusCode::NotFound, "cache.read", "x"));
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::NotFound);
+    EXPECT_EQ(bad.valueOr(7), 7);
+    EXPECT_THROW(bad.value(), std::runtime_error);
+}
+
+TEST(FaultSpec, ParsesSiteKindAndNth)
+{
+    Result<FaultSpec> r = parseFaultSpec("jacobi:nonconv");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().site, "jacobi");
+    EXPECT_EQ(r.value().kind, FaultKind::NonConverge);
+    EXPECT_EQ(r.value().nth, 1);
+
+    r = parseFaultSpec("ckpt.write:bitflip:3");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().kind, FaultKind::BitFlip);
+    EXPECT_EQ(r.value().nth, 3);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs)
+{
+    EXPECT_FALSE(parseFaultSpec("no-colon").ok());
+    EXPECT_FALSE(parseFaultSpec(":nan").ok());
+    EXPECT_FALSE(parseFaultSpec("site:frobnicate").ok());
+    EXPECT_FALSE(parseFaultSpec("site:nan:0").ok());
+    EXPECT_FALSE(parseFaultSpec("site:nan:x").ok());
+}
+
+TEST(FaultAt, FiresExactlyOnNthOccurrence)
+{
+    RobustGuard guard;
+    setFault(FaultSpec{"test.site", FaultKind::Nan, 2});
+    EXPECT_FALSE(faultAt("test.site", FaultKind::Nan));  // 1st
+    EXPECT_FALSE(faultAt("test.site", FaultKind::Alloc)); // other kind
+    EXPECT_FALSE(faultAt("other.site", FaultKind::Nan));  // other site
+    EXPECT_TRUE(faultAt("test.site", FaultKind::Nan));    // 2nd: fires
+    EXPECT_FALSE(faultAt("test.site", FaultKind::Nan));   // 3rd
+    clearFaults();
+    EXPECT_FALSE(faultInjectionEnabled());
+    EXPECT_FALSE(faultAt("test.site", FaultKind::Nan));
+}
+
+TEST(RobustPolicyParse, AcceptsAllThreeModes)
+{
+    Result<RobustPolicy> r = parseRobustPolicy("strict");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().mode, RobustMode::Strict);
+
+    r = parseRobustPolicy("degrade:0.25");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().mode, RobustMode::Degrade);
+    EXPECT_DOUBLE_EQ(r.value().failureBudget, 0.25);
+
+    r = parseRobustPolicy("retry:5:0.5");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().mode, RobustMode::Retry);
+    EXPECT_EQ(r.value().maxRetries, 5);
+    EXPECT_DOUBLE_EQ(r.value().failureBudget, 0.5);
+}
+
+TEST(RobustPolicyParse, RejectsBadValues)
+{
+    EXPECT_FALSE(parseRobustPolicy("").ok());
+    EXPECT_FALSE(parseRobustPolicy("lenient").ok());
+    EXPECT_FALSE(parseRobustPolicy("strict:0.5").ok());
+    EXPECT_FALSE(parseRobustPolicy("degrade:1.5").ok());
+    EXPECT_FALSE(parseRobustPolicy("retry:0").ok());
+    EXPECT_FALSE(parseRobustPolicy("retry:2:nope").ok());
+}
+
+TEST(Crc32, MatchesTheIeeeTestVector)
+{
+    const std::string check = "123456789";
+    EXPECT_EQ(crc32(reinterpret_cast<const uint8_t *>(check.data()),
+                    check.size()),
+              0xCBF43926U);
+    EXPECT_EQ(crc32(nullptr, 0), 0U);
+}
+
+TEST(Checkpoint, RoundTripsPayloadAndVersion)
+{
+    const std::string path = ckptPath("lrd_robust_ckpt_rt.bin");
+    const std::vector<uint8_t> payload = {0, 1, 2, 3, 254, 255, 7};
+    ASSERT_TRUE(writeCheckpoint(path, 3, payload).ok());
+
+    Result<std::vector<uint8_t>> r = readCheckpoint(path, 3);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), payload);
+
+    r = readCheckpoint(path, 4); // version mismatch
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST(Checkpoint, MissingFileIsNotFound)
+{
+    const std::string path = ckptPath("lrd_robust_ckpt_missing.bin");
+    const Result<std::vector<uint8_t>> r = readCheckpoint(path, 1);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::NotFound);
+}
+
+TEST(Checkpoint, DetectsManualTruncation)
+{
+    const std::string path = ckptPath("lrd_robust_ckpt_trunc.bin");
+    const std::vector<uint8_t> payload(100, 0x5A);
+    ASSERT_TRUE(writeCheckpoint(path, 1, payload).ok());
+    fs::resize_file(path, fs::file_size(path) / 2);
+
+    const Result<std::vector<uint8_t>> r = readCheckpoint(path, 1);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::DataLoss);
+}
+
+TEST(Checkpoint, DetectsManualBitFlip)
+{
+    const std::string path = ckptPath("lrd_robust_ckpt_flip.bin");
+    const std::vector<uint8_t> payload(64, 0x11);
+    ASSERT_TRUE(writeCheckpoint(path, 1, payload).ok());
+    {
+        std::fstream f(path, std::ios::in | std::ios::out
+                                 | std::ios::binary);
+        f.seekp(40); // Well inside the payload.
+        const char flipped = 0x10;
+        f.write(&flipped, 1);
+    }
+    const Result<std::vector<uint8_t>> r = readCheckpoint(path, 1);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::DataLoss);
+}
+
+TEST(Checkpoint, InjectedTruncationFallsBackToPreviousGood)
+{
+    RobustGuard guard;
+    const std::string path = ckptPath("lrd_robust_ckpt_fb1.bin");
+    const std::vector<uint8_t> first = {1, 1, 1, 1, 1, 1, 1, 1};
+    const std::vector<uint8_t> second = {2, 2, 2, 2, 2, 2, 2, 2};
+    ASSERT_TRUE(writeCheckpoint(path, 1, first).ok());
+
+    setFault(FaultSpec{"ckpt.write", FaultKind::Truncate, 1});
+    ASSERT_TRUE(writeCheckpoint(path, 1, second).ok());
+    clearFaults();
+
+    // The damaged primary is detected; the rotated previous-good
+    // checkpoint (the first write) supplies the payload.
+    ASSERT_FALSE(readCheckpoint(path, 1).ok());
+    bool usedFallback = false;
+    const Result<std::vector<uint8_t>> r =
+        readCheckpointWithFallback(path, 1, &usedFallback);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(usedFallback);
+    EXPECT_EQ(r.value(), first);
+}
+
+TEST(Checkpoint, InjectedBitFlipFallsBackToPreviousGood)
+{
+    RobustGuard guard;
+    const std::string path = ckptPath("lrd_robust_ckpt_fb2.bin");
+    const std::vector<uint8_t> first(32, 0xAA);
+    const std::vector<uint8_t> second(32, 0xBB);
+    ASSERT_TRUE(writeCheckpoint(path, 1, first).ok());
+
+    setFault(FaultSpec{"ckpt.write", FaultKind::BitFlip, 1});
+    ASSERT_TRUE(writeCheckpoint(path, 1, second).ok());
+    clearFaults();
+
+    bool usedFallback = false;
+    const Result<std::vector<uint8_t>> r =
+        readCheckpointWithFallback(path, 1, &usedFallback);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(usedFallback);
+    EXPECT_EQ(r.value(), first);
+}
+
+TEST(Checkpoint, InjectedAllocFailureLeavesPrimaryIntact)
+{
+    RobustGuard guard;
+    const std::string path = ckptPath("lrd_robust_ckpt_alloc.bin");
+    const std::vector<uint8_t> first = {4, 5, 6};
+    ASSERT_TRUE(writeCheckpoint(path, 1, first).ok());
+
+    setFault(FaultSpec{"ckpt.write", FaultKind::Alloc, 1});
+    const Status s = writeCheckpoint(path, 1, {9, 9, 9});
+    clearFaults();
+    EXPECT_EQ(s.code(), StatusCode::ResourceExhausted);
+
+    const Result<std::vector<uint8_t>> r = readCheckpoint(path, 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), first);
+}
+
+TEST(NumericGuards, FirstNonFiniteFindsTheFirstBadElement)
+{
+    std::vector<float> v(100, 0.5F);
+    EXPECT_EQ(firstNonFinite(v.data(), static_cast<int64_t>(v.size())),
+              -1);
+    v[63] = std::numeric_limits<float>::infinity();
+    v[80] = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_EQ(firstNonFinite(v.data(), static_cast<int64_t>(v.size())),
+              63);
+    EXPECT_EQ(firstNonFinite(v.data(), 0), -1);
+}
+
+TEST(NumericGuards, NoteAndTakeSlotFirstWinsAndClears)
+{
+    RobustGuard guard;
+    EXPECT_FALSE(numericFaultPending());
+    noteNumericFault(Status(StatusCode::NonFinite, "model.block", "a"));
+    noteNumericFault(Status(StatusCode::NonFinite, "model.block", "b"));
+    EXPECT_TRUE(numericFaultPending());
+    const Status s = takeNumericFault();
+    EXPECT_EQ(s.message(), "a"); // First note wins.
+    EXPECT_FALSE(numericFaultPending());
+    EXPECT_TRUE(takeNumericFault().ok());
+}
+
+TEST(NumericGuards, ReportNonFiniteIsFatalUnderStrict)
+{
+    RobustGuard guard;
+    RobustPolicy strict;
+    strict.mode = RobustMode::Strict;
+    setRobustPolicy(strict);
+    EXPECT_THROW(reportNonFinite("model.block", 3, 17),
+                 std::runtime_error);
+
+    RobustGuard::reset(); // Degrade: noted, not thrown.
+    reportNonFinite("model.block", 3, 17);
+    const Status s = takeNumericFault();
+    EXPECT_EQ(s.code(), StatusCode::NonFinite);
+    EXPECT_NE(s.message().find("layer 3"), std::string::npos);
+    EXPECT_NE(s.message().find("index 17"), std::string::npos);
+}
+
+TEST(FailureBudget, WithinBudgetWarnsAndOverBudgetIsFatal)
+{
+    RobustGuard guard;
+    RobustPolicy p;
+    p.mode = RobustMode::Degrade;
+    p.failureBudget = 0.25;
+    setRobustPolicy(p);
+
+    EXPECT_EQ(failureBudgetItems(p, 8), 2);
+    enforceFailureBudget("test", 0, 8, Status());
+    enforceFailureBudget("test", 2, 8,
+                         Status(StatusCode::NonFinite, "x", "y"));
+    EXPECT_THROW(enforceFailureBudget(
+                     "test", 3, 8,
+                     Status(StatusCode::NonFinite, "x", "y")),
+                 std::runtime_error);
+
+    p.failureBudget = 0.0; // Zero budget: any failure is fatal.
+    setRobustPolicy(p);
+    EXPECT_THROW(enforceFailureBudget(
+                     "test", 1, 8,
+                     Status(StatusCode::NonFinite, "x", "y")),
+                 std::runtime_error);
+}
+
+TEST(Retry, ReseedsDeterministicallyAndStopsAtFirstOk)
+{
+    RobustGuard guard;
+    std::vector<uint64_t> draws1, draws2;
+    const auto runOnce = [](std::vector<uint64_t> &draws) {
+        return retryWithReseed(1234, 4, [&](Rng &rng, int attempt) {
+            draws.push_back(rng.next());
+            return attempt < 2 ? Status(StatusCode::NonConvergence,
+                                        "test", "not yet")
+                               : Status();
+        });
+    };
+    EXPECT_TRUE(runOnce(draws1).ok());
+    EXPECT_TRUE(runOnce(draws2).ok());
+    ASSERT_EQ(draws1.size(), 3U); // Attempts 0, 1, 2; stopped at ok.
+    EXPECT_EQ(draws1, draws2);    // Bitwise-identical retry streams.
+    EXPECT_NE(draws1[0], draws1[1]); // Each attempt is reseeded.
+}
+
+TEST(Retry, ExhaustedAttemptsReturnTheLastFailure)
+{
+    RobustGuard guard;
+    int calls = 0;
+    const Status s = retryWithReseed(7, 3, [&](Rng &, int) {
+        ++calls;
+        return Status(StatusCode::NonConvergence, "test", "never");
+    });
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(s.code(), StatusCode::NonConvergence);
+}

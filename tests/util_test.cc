@@ -140,6 +140,22 @@ TEST(Rng, SplitProducesIndependentStream)
     EXPECT_LT(same, 2);
 }
 
+TEST(Rng, StateRoundTripResumesTheDrawSequence)
+{
+    Rng a(77);
+    (void)a.normal(); // Leave a cached Box-Muller second value live.
+    const RngState snap = a.state();
+
+    std::vector<double> expected;
+    for (int i = 0; i < 8; ++i)
+        expected.push_back(a.normal());
+
+    Rng b(1); // Different seed; fully overwritten by setState.
+    b.setState(snap);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(b.normal(), expected[static_cast<size_t>(i)]);
+}
+
 TEST(Logging, FatalThrowsRuntimeError)
 {
     EXPECT_THROW(fatal("boom"), std::runtime_error);
@@ -204,15 +220,21 @@ TEST(Cache, WriteReadRoundTrip)
     std::vector<uint8_t> payload = {1, 2, 3, 250, 255};
     cacheWrite(name, payload);
     EXPECT_TRUE(cacheHas(name));
-    EXPECT_EQ(cacheRead(name), payload);
+    const Result<std::vector<uint8_t>> got = cacheRead(name);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), payload);
     cacheErase(name);
     EXPECT_FALSE(cacheHas(name));
 }
 
-TEST(Cache, ReadMissingEntryThrows)
+TEST(Cache, ReadMissingEntryReturnsNotFound)
 {
-    EXPECT_THROW(cacheRead("definitely_missing_entry.bin"),
-                 std::runtime_error);
+    const Result<std::vector<uint8_t>> r =
+        cacheRead("definitely_missing_entry.bin");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::NotFound);
+    EXPECT_EQ(r.valueOr({0xAB}), std::vector<uint8_t>{0xAB});
+    EXPECT_THROW(r.value(), std::runtime_error);
 }
 
 TEST(Bytes, RoundTripAllTypes)
@@ -221,15 +243,19 @@ TEST(Bytes, RoundTripAllTypes)
     w.putU32(0xDEADBEEF);
     w.putU64(0x0123456789ABCDEFULL);
     w.putF32(3.25F);
+    w.putF64(-1.0e-300);
     w.putString("hello");
     w.putFloats({1.0F, -2.5F, 0.0F});
+    w.putBytes({9, 8, 7});
 
     ByteReader r(w.bytes());
     EXPECT_EQ(r.getU32(), 0xDEADBEEF);
     EXPECT_EQ(r.getU64(), 0x0123456789ABCDEFULL);
     EXPECT_FLOAT_EQ(r.getF32(), 3.25F);
+    EXPECT_EQ(r.getF64(), -1.0e-300);
     EXPECT_EQ(r.getString(), "hello");
     EXPECT_EQ(r.getFloats(), (std::vector<float>{1.0F, -2.5F, 0.0F}));
+    EXPECT_EQ(r.getBytes(), (std::vector<uint8_t>{9, 8, 7}));
     EXPECT_TRUE(r.atEnd());
 }
 

@@ -7,9 +7,9 @@
  *
  * Declared layering (lower may never include higher):
  *
- *   0 util -> 1 obs -> 2 parallel -> 3 tensor,linalg ->
- *   4 model,decomp -> 5 hw,quant -> 6 eval,dse,train ->
- *   7 tools,tests,bench,examples
+ *   0 util -> 1 obs -> 2 robust -> 3 parallel -> 4 tensor,linalg ->
+ *   5 model,decomp -> 6 hw,quant -> 7 eval,dse,train ->
+ *   8 tools,tests,bench,examples
  *
  * Edges within one layer (model -> decomp, dse -> eval, ...) are
  * allowed as long as the module graph stays acyclic; a cycle whose
@@ -34,10 +34,11 @@ namespace lrd::lint {
 namespace {
 
 const std::map<std::string, int> kLayerOf = {
-    {"util", 0},  {"obs", 1},    {"parallel", 2}, {"tensor", 3},
-    {"linalg", 3}, {"model", 4},  {"decomp", 4},   {"hw", 5},
-    {"quant", 5},  {"eval", 6},   {"dse", 6},      {"train", 6},
-    {"tools", 7},  {"tests", 7},  {"bench", 7},    {"examples", 7},
+    {"util", 0},   {"obs", 1},    {"robust", 2},   {"parallel", 3},
+    {"tensor", 4}, {"linalg", 4}, {"model", 5},    {"decomp", 5},
+    {"hw", 6},     {"quant", 6},  {"eval", 7},     {"dse", 7},
+    {"train", 7},  {"tools", 8},  {"tests", 8},    {"bench", 8},
+    {"examples", 8},
 };
 
 std::string

@@ -12,9 +12,12 @@
  *    into the numeric core;
  *  - concurrency discipline: raw threads only inside src/parallel/
  *    and src/util/worker_lane.*, no unsynchronized mutable globals;
- *  - layering: the module DAG util -> obs -> parallel ->
+ *  - layering: the module DAG util -> obs -> robust -> parallel ->
  *    tensor/linalg -> model/decomp -> hw/quant -> eval/dse/train ->
  *    tools/tests/bench must stay acyclic with no back-edges;
+ *  - error discipline: `throw` is confined to src/util (fatal/panic
+ *    and Rng argument checks); everything else reports failures as
+ *    lrd::Status / lrd::Result;
  *  - header hygiene: include guards, no `using namespace` at
  *    namespace scope in headers.
  *
@@ -64,6 +67,7 @@ inline constexpr const char *kRuleHeaderGuard = "header-guard";
 inline constexpr const char *kRuleUsingNamespace = "using-namespace-header";
 inline constexpr const char *kRuleLayering = "include-layering";
 inline constexpr const char *kRuleCycle = "include-cycle";
+inline constexpr const char *kRuleNakedThrow = "naked-throw";
 
 /**
  * Layer of a module directory in the declared layering, or -1 when

@@ -149,6 +149,8 @@ checkBannedIdentifiers(const SourceFile &file, const std::vector<Token> &toks,
     const bool rngHome = startsWith(file.path, "src/util/rng.");
     const bool threadHome = startsWith(file.path, "src/parallel/") ||
                             startsWith(file.path, "src/util/worker_lane.");
+    const bool throwHome =
+        !startsWith(file.path, "src/") || startsWith(file.path, "src/util/");
     const std::string mod = moduleOf(file.path);
     const bool numericCore =
         startsWith(file.path, "src/") && kNumericCore.count(mod) > 0;
@@ -179,6 +181,12 @@ checkBannedIdentifiers(const SourceFile &file, const std::vector<Token> &toks,
                       "'" + t.text +
                           "()' is a wall-clock read; never seed or key "
                           "deterministic state on it");
+        }
+        if (!throwHome && t.text == "throw") {
+            sink.emit(t.line, kRuleNakedThrow,
+                      "'throw' outside src/util: report failures as "
+                      "lrd::Status / lrd::Result (util/status.h) or "
+                      "call fatal()/panic() (util/logging.h)");
         }
         if (numericCore && kUnordered.count(t.text)) {
             sink.emit(t.line, kRuleUnordered,

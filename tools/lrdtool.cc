@@ -13,12 +13,15 @@
  *   lrdtool eval [percent]                benchmark the tiny stand-in
  *   lrdtool stats [percent]               decompose + eval the tiny
  *                                         stand-in, dump metrics JSON
+ *   lrdtool train [flags]                 checkpointed training run
+ *   lrdtool dse [flags]                   checkpointed Definition-1
+ *                                         sweep on the tiny stand-in
  *
  * Presets: llama2-7b, llama2-70b, bert-base, bert-large, tiny-llama,
  * tiny-bert.
  *
- * Environment: LRD_THREADS, LRD_LOG, LRD_TRACE, LRD_STATS (see
- * usage()).
+ * Environment: LRD_THREADS, LRD_LOG, LRD_TRACE, LRD_STATS, LRD_ROBUST,
+ * LRD_FAULT (see usage()).
  */
 
 #include <cstdio>
@@ -31,6 +34,7 @@
 #include "decomp/tucker.h"
 #include "util/logging.h"
 #include "dse/design_space.h"
+#include "dse/optimizer.h"
 #include "dse/schedules.h"
 #include "eval/evaluator.h"
 #include "hw/opcount.h"
@@ -39,7 +43,10 @@
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "robust/checkpoint.h"
+#include "robust/fault.h"
 #include "train/model_zoo.h"
+#include "train/trainer.h"
 #include "util/table.h"
 
 using namespace lrd;
@@ -281,6 +288,96 @@ cmdStats(double percent)
     return 0;
 }
 
+/** "--key=value" / "--flag" parsing for the train/dse subcommands. */
+struct Flags
+{
+    std::map<std::string, std::string> kv;
+
+    static Flags parse(int argc, char **argv, int first)
+    {
+        Flags f;
+        for (int i = first; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--", 0) != 0)
+                fatal("unexpected argument '" + arg + "'");
+            const size_t eq = arg.find('=', 2);
+            if (eq == std::string::npos)
+                f.kv.insert_or_assign(arg.substr(2), std::string("1"));
+            else
+                f.kv.insert_or_assign(arg.substr(2, eq - 2),
+                                      arg.substr(eq + 1));
+        }
+        return f;
+    }
+
+    std::string str(const std::string &key,
+                    const std::string &fallback = "") const
+    {
+        const auto it = kv.find(key);
+        return it == kv.end() ? fallback : it->second;
+    }
+
+    int num(const std::string &key, int fallback) const
+    {
+        const auto it = kv.find(key);
+        return it == kv.end() ? fallback : std::atoi(it->second.c_str());
+    }
+
+    bool has(const std::string &key) const { return kv.count(key) != 0; }
+};
+
+/**
+ * A short checkpointed training run on the tiny stand-in. Prints the
+ * final loss and a CRC of the trained weights, so two invocations
+ * (interrupted-and-resumed vs. uninterrupted) can be diffed directly.
+ */
+int
+cmdTrain(const Flags &flags)
+{
+    TransformerModel model(tinyLlamaConfig(), /*seed=*/1001);
+    TrainOptions t = zooTrainOptions(Arch::LlamaStyle);
+    t.steps = flags.num("steps", 12);
+    t.logEvery = flags.num("log-every", 0);
+    t.checkpointPath = flags.str("ckpt");
+    t.checkpointEvery = flags.num("every", 4);
+    t.resume = flags.has("resume");
+    Trainer trainer(model, defaultWorld(), t);
+    const double loss = trainer.run();
+    const std::vector<uint8_t> bytes = model.serialize();
+    std::printf("status     %s\n", trainer.runStatus().ok()
+                                       ? "completed"
+                                       : trainer.runStatus().toString().c_str());
+    std::printf("final loss %.6f\n", loss);
+    std::printf("weights    crc32 %08x (%zu bytes)\n", crc32(bytes),
+                bytes.size());
+    return 0;
+}
+
+/** A checkpointed Definition-1 sweep on the tiny stand-in model. */
+int
+cmdDse(const Flags &flags)
+{
+    TransformerModel model = pretrainedTinyLlama();
+    OptimizerOptions opts;
+    opts.evalTasks = flags.num("tasks", 24);
+    opts.checkpointPath = flags.str("ckpt");
+    opts.checkpointEvery = flags.num("every", 8);
+    opts.resume = flags.has("resume");
+    const OptimizerResult r =
+        optimizeDecomposition(model.serialize(), defaultWorld(), opts);
+    std::printf("status     %s\n",
+                r.cancelled ? "cancelled (resume with --resume)"
+                            : "completed");
+    std::printf("explored   %zu candidates (%d degraded)\n",
+                r.explored.size(), r.numFailed);
+    std::printf("baseline   acc %.3f  edp %.4g\n", r.baselineAccuracy,
+                r.baselineEdp);
+    std::printf("best       %s\n", r.best.config.describe().c_str());
+    std::printf("           acc %.3f  edp %.4g  reduction %.2f%%\n",
+                r.best.accuracy, r.best.edp, r.best.reduction * 100.0);
+    return 0;
+}
+
 void
 usage()
 {
@@ -293,6 +390,8 @@ usage()
         "  breakeven <H> <W>\n"
         "  eval [reduction-percent]\n"
         "  stats [reduction-percent]     (default 50)\n"
+        "  train [--steps=N] [--ckpt=FILE] [--every=N] [--resume]\n"
+        "  dse   [--tasks=N] [--ckpt=FILE] [--every=N] [--resume]\n"
         "environment:\n"
         "  LRD_THREADS=<n>     thread-pool size (default: all cores)\n"
         "  LRD_LOG=<level>[+ts]  debug|info|warn|error; +ts adds\n"
@@ -301,6 +400,12 @@ usage()
         "                      <file>.summary.csv) on exit\n"
         "  LRD_STATS=<file>    write metrics-registry JSON on exit\n"
         "                      ('-' = stdout)\n"
+        "  LRD_ROBUST=<mode>   strict | degrade[:budget] |\n"
+        "                      retry[:attempts[:budget]]\n"
+        "                      (default degrade:0.1)\n"
+        "  LRD_FAULT=<spec>    inject faults: <site>:<kind>[:<nth>],...\n"
+        "                      kinds: nan nonconv truncate bitflip\n"
+        "                      alloc cancel\n"
         "  LRD_SANITIZE        build-time option (see CMakeLists.txt)\n");
 }
 
@@ -316,6 +421,7 @@ main(int argc, char **argv)
     const std::string cmd = argv[1];
     try {
         initObservabilityFromEnv();
+        initFaultsFromEnv();
         // With tracing on, spawn the pool up front so every worker
         // emits its lane marker even for purely analytic commands.
         if (Tracer::enabled())
@@ -338,6 +444,10 @@ main(int argc, char **argv)
             ret = cmdEval(argc >= 3 ? std::atof(argv[2]) : 0.0);
         else if (cmd == "stats")
             ret = cmdStats(argc >= 3 ? std::atof(argv[2]) : 50.0);
+        else if (cmd == "train")
+            ret = cmdTrain(Flags::parse(argc, argv, 2));
+        else if (cmd == "dse")
+            ret = cmdDse(Flags::parse(argc, argv, 2));
         if (ret >= 0) {
             flushObservability();
             return ret;
