@@ -17,7 +17,9 @@ cd "${repo_root}"
 echo "== tier-1: Release build + ctest =="
 cmake -B build -S .
 cmake --build build -j
-ctest --test-dir build --output-on-failure -j "$(nproc)"
+# --timeout: a hung cancellation drain or unjoined watchdog thread
+# must fail the run, not wedge it.
+ctest --test-dir build --output-on-failure --timeout 300 -j "$(nproc)"
 
 echo "== lint: lrd-lint over src/ tools/ tests/ bench/ =="
 cmake --build build -j --target lrd-lint
@@ -43,10 +45,11 @@ cmake --build build-ubsan -j --target determinism_test obs_test
 ./build-ubsan/tests/determinism_test
 ./build-ubsan/tests/obs_test
 
-echo "== ASan: robust + resume suites under -fsanitize=address =="
+echo "== ASan: robust + resume + cancel suites under -fsanitize=address =="
 cmake -B build-asan -S . -DLRD_SANITIZE=address
-cmake --build build-asan -j --target robust_test resume_test
+cmake --build build-asan -j --target robust_test resume_test cancel_test
 ./build-asan/tests/robust_test
 ./build-asan/tests/resume_test
+./build-asan/tests/cancel_test
 
 echo "verify: OK"

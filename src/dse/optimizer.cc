@@ -7,9 +7,10 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "robust/cancel.h"
 #include "robust/checkpoint.h"
-#include "robust/fault.h"
 #include "robust/recovery.h"
+#include "robust/signal.h"
 #include "util/cache.h"
 #include "util/logging.h"
 
@@ -227,6 +228,8 @@ optimizeDecomposition(const std::vector<uint8_t> &modelBytes,
         }
     }
 
+    WatchdogSection watched("dse");
+    bool baselineTainted = false;
     if (!resumed) {
         // Baseline accuracy and EDP on the dense model.
         TransformerModel dense = TransformerModel::deserialize(modelBytes);
@@ -236,23 +239,18 @@ optimizeDecomposition(const std::vector<uint8_t> &modelBytes,
         const InferenceEstimate est =
             edpEstimate(cfg, DecompConfig::identity());
         result.baselineEdp = est.latencySec * est.energyJoules;
+        // A cancel during the baseline eval leaves a partial accuracy;
+        // never checkpoint it, so a resumed sweep recomputes it.
+        baselineTainted = cancelRequested();
     }
 
     const auto total = static_cast<int64_t>(grid.size());
     const bool checkpointing =
         !opts.checkpointPath.empty() && opts.checkpointEvery > 0;
     const int64_t stride = checkpointing ? opts.checkpointEvery : total;
-    for (int64_t batchStart = 0; batchStart < total;
-         batchStart += stride) {
-        if (faultAt("dse.batch", FaultKind::Cancel)) {
-            // Simulated kill between batches; the checkpoint written
-            // after the previous batch is the resume point.
-            result.cancelled = true;
-            break;
-        }
-        const int64_t batchEnd = std::min(total, batchStart + stride);
+    auto runCandidates = [&](int64_t runBegin, int64_t runEnd) {
         parallelFor(
-            batchStart, batchEnd, 1, [&](int64_t lo, int64_t hi) {
+            runBegin, runEnd, 1, [&](int64_t lo, int64_t hi) {
                 static Counter *candidates =
                     MetricsRegistry::instance().counter("dse.candidates");
                 for (int64_t idx = lo; idx < hi; ++idx) {
@@ -302,12 +300,41 @@ optimizeDecomposition(const std::vector<uint8_t> &modelBytes,
                             rec.failure = e.what();
                         }
                     }
+                    if (cancelRequested())
+                        continue; // Mid-candidate kill: drop the
+                                  // partial record so a resumed sweep
+                                  // re-evaluates this slot.
                     records[static_cast<size_t>(idx)] = std::move(rec);
                     done[static_cast<size_t>(idx)] = 1;
                 }
             });
-        if (checkpointing)
+    };
+    for (int64_t batchStart = 0; batchStart < total;
+         batchStart += stride) {
+        // Batch boundaries are the sweep's cancellation points: a
+        // signal, an injected "dse.batch" cancel, or an expired
+        // deadline stops here, after a final checkpoint has captured
+        // every fully evaluated candidate.
+        pollCancelFault("dse.batch");
+        const int64_t batchEnd = std::min(total, batchStart + stride);
+        Status cancel = checkCancellation("dse.batch");
+        if (cancel.ok()) {
+            const int64_t admitted =
+                consumeWorkBudget("steps", batchEnd - batchStart);
+            if (admitted > 0)
+                runCandidates(batchStart, batchStart + admitted);
+            if (admitted < batchEnd - batchStart)
+                expireDeadline("dse.batch");
+            // Re-check: a signal may have landed mid-batch.
+            cancel = checkCancellation("dse.batch");
+        }
+        if (checkpointing && !baselineTainted)
             writeDseCheckpoint(opts, result, grid, done, records);
+        if (!cancel.ok()) {
+            result.cancelled = true;
+            result.status = cancel;
+            break;
+        }
     }
 
     double bestEdp = std::numeric_limits<double>::infinity();

@@ -73,9 +73,11 @@ struct OptimizerResult
     double baselineEdp = 0;
     std::vector<CandidateRecord> explored;
     int numFailed = 0;     ///< Degraded candidates (within budget).
-    /** True when an injected "dse.batch" cancel stopped the sweep;
-     *  the checkpoint then carries the completed prefix. */
+    /** True when a signal, injected cancel, or deadline stopped the
+     *  sweep; the checkpoint then carries the completed prefix. */
     bool cancelled = false;
+    /** Cancelled/DeadlineExceeded when the sweep stopped early. */
+    Status status;
 };
 
 /**

@@ -7,8 +7,10 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "robust/cancel.h"
 #include "robust/fault.h"
 #include "robust/recovery.h"
+#include "robust/signal.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -30,6 +32,9 @@ template <class Body>
 Status
 scoreWithPolicy(const Body &body)
 {
+    pollCancelFault("eval.item");
+    if (cancelRequested())
+        return cancelStatus("eval.item");
     takeNumericFault(); // Drop any stale note from a previous item.
     const RobustPolicy policy = robustPolicy();
     const int attempts =
@@ -144,6 +149,63 @@ solveGen(TransformerModel &model, const World &world, const GenTask &task,
     return task.expected.size() == 1 && argmax == task.expected[0];
 }
 
+/** Statuses that mean "never scored", not "scored and failed". */
+bool
+skippedStatus(const Status &s)
+{
+    return s.code() == StatusCode::Cancelled
+           || s.code() == StatusCode::DeadlineExceeded;
+}
+
+/** Sentinel for items a cancel or deadline prevented from running. */
+Status
+notScoredStatus()
+{
+    return Status(StatusCode::Cancelled, "eval.item",
+                  "not scored: cancellation requested before this item "
+                  "ran");
+}
+
+/**
+ * Fold per-item outcomes into an EvalResult. Skipped items (cancel /
+ * deadline) are excluded from both the accuracy denominator and the
+ * failure budget; a run where anything was skipped carries a non-ok
+ * status so callers can mark the result partial.
+ */
+template <class CorrectAt>
+EvalResult
+foldItems(const std::vector<Status> &itemStatus, const CorrectAt &correctAt)
+{
+    EvalResult res;
+    Status firstFailure;
+    for (size_t i = 0; i < itemStatus.size(); ++i) {
+        ++res.numTasks;
+        if (skippedStatus(itemStatus[i])) {
+            ++res.numSkipped;
+            continue;
+        }
+        if (!itemStatus[i].ok()) {
+            // Degraded items score as incorrect; the budget check
+            // below decides whether the run is still trustworthy.
+            ++res.numFailed;
+            if (firstFailure.ok())
+                firstFailure = itemStatus[i];
+            continue;
+        }
+        res.numCorrect += correctAt(i) ? 1 : 0;
+    }
+    const int attempted = res.numTasks - res.numSkipped;
+    res.accuracy = attempted > 0
+                       ? static_cast<double>(res.numCorrect) / attempted
+                       : 0.0;
+    if (attempted > 0)
+        enforceFailureBudget("eval", res.numFailed, attempted,
+                             firstFailure);
+    if (res.numSkipped > 0)
+        res.status = cancelStatus("eval.item");
+    return res;
+}
+
 } // namespace
 
 Evaluator::Evaluator(TransformerModel &model, const World &world,
@@ -219,37 +281,27 @@ Evaluator::runMc(BenchmarkKind kind)
     const auto tasks =
         makeMcTasks(kind, world_, opts_.numTasks, opts_.seed);
     const bool causal = model_.config().arch == Arch::LlamaStyle;
+    WatchdogSection watched("eval");
+    const auto n = static_cast<int64_t>(tasks.size());
     std::vector<int> picks(tasks.size(), 0);
-    std::vector<Status> itemStatus(tasks.size());
-    forEachItemParallel(
-        static_cast<int64_t>(tasks.size()),
-        [&](int64_t i, TransformerModel &m) {
-            const McTask &task = tasks[static_cast<size_t>(i)];
-            itemStatus[static_cast<size_t>(i)] = scoreWithPolicy([&] {
-                picks[static_cast<size_t>(i)] =
-                    causal ? pickCausal(m, task, opts_)
-                           : pickBert(m, world_, task, opts_);
-            });
+    // Items past the admitted budget (or dropped by a mid-run cancel)
+    // keep this sentinel and fold as skipped, not failed.
+    std::vector<Status> itemStatus(tasks.size(), notScoredStatus());
+    const int64_t admitted = consumeWorkBudget("items", n);
+    forEachItemParallel(admitted, [&](int64_t i, TransformerModel &m) {
+        const McTask &task = tasks[static_cast<size_t>(i)];
+        itemStatus[static_cast<size_t>(i)] = scoreWithPolicy([&] {
+            picks[static_cast<size_t>(i)] =
+                causal ? pickCausal(m, task, opts_)
+                       : pickBert(m, world_, task, opts_);
         });
-    EvalResult res;
-    Status firstFailure;
-    for (size_t i = 0; i < tasks.size(); ++i) {
-        ++res.numTasks;
-        if (!itemStatus[i].ok()) {
-            // Degraded items score as incorrect; the budget check
-            // below decides whether the run is still trustworthy.
-            ++res.numFailed;
-            if (firstFailure.ok())
-                firstFailure = itemStatus[i];
-            continue;
-        }
-        res.numCorrect += picks[i] == tasks[i].gold;
-    }
-    res.accuracy = static_cast<double>(res.numCorrect) / res.numTasks;
+    });
+    if (admitted < n)
+        expireDeadline("eval.item");
     model_.clearCache();
-    enforceFailureBudget("eval", res.numFailed, res.numTasks,
-                         firstFailure);
-    return res;
+    return foldItems(itemStatus, [&](size_t i) {
+        return picks[i] == tasks[i].gold;
+    });
 }
 
 EvalResult
@@ -257,36 +309,24 @@ Evaluator::runGen()
 {
     const auto tasks = makeGsm8kTasks(world_, opts_.numTasks, opts_.seed);
     const bool causal = model_.config().arch == Arch::LlamaStyle;
+    WatchdogSection watched("eval");
+    const auto n = static_cast<int64_t>(tasks.size());
     std::vector<uint8_t> correct(tasks.size(), 0);
-    std::vector<Status> itemStatus(tasks.size());
-    forEachItemParallel(
-        static_cast<int64_t>(tasks.size()),
-        [&](int64_t i, TransformerModel &m) {
-            itemStatus[static_cast<size_t>(i)] = scoreWithPolicy([&] {
-                correct[static_cast<size_t>(i)] =
-                    solveGen(m, world_, tasks[static_cast<size_t>(i)],
-                             causal)
-                        ? 1
-                        : 0;
-            });
+    std::vector<Status> itemStatus(tasks.size(), notScoredStatus());
+    const int64_t admitted = consumeWorkBudget("items", n);
+    forEachItemParallel(admitted, [&](int64_t i, TransformerModel &m) {
+        itemStatus[static_cast<size_t>(i)] = scoreWithPolicy([&] {
+            correct[static_cast<size_t>(i)] =
+                solveGen(m, world_, tasks[static_cast<size_t>(i)], causal)
+                    ? 1
+                    : 0;
         });
-    EvalResult res;
-    Status firstFailure;
-    for (size_t i = 0; i < tasks.size(); ++i) {
-        ++res.numTasks;
-        if (!itemStatus[i].ok()) {
-            ++res.numFailed;
-            if (firstFailure.ok())
-                firstFailure = itemStatus[i];
-            continue;
-        }
-        res.numCorrect += correct[i] != 0;
-    }
-    res.accuracy = static_cast<double>(res.numCorrect) / res.numTasks;
+    });
+    if (admitted < n)
+        expireDeadline("eval.item");
     model_.clearCache();
-    enforceFailureBudget("eval", res.numFailed, res.numTasks,
-                         firstFailure);
-    return res;
+    return foldItems(itemStatus,
+                     [&](size_t i) { return correct[i] != 0; });
 }
 
 EvalResult

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "model/embedding.h"
+#include "util/status.h"
 
 namespace lrd {
 
@@ -33,11 +34,19 @@ struct GenTask
 /** Accuracy summary for one benchmark run. */
 struct EvalResult
 {
-    double accuracy = 0.0; ///< Fraction correct in [0, 1].
+    /** Fraction correct in [0, 1] over the *attempted* items. */
+    double accuracy = 0.0;
     int numTasks = 0;
     int numCorrect = 0;
     /** Items that faulted and were degraded (scored as incorrect). */
     int numFailed = 0;
+    /** Items never scored: a cancel request or deadline intervened. */
+    int numSkipped = 0;
+    /** Cancelled/DeadlineExceeded when the run stopped early. */
+    Status status;
+
+    /** Whether this result covers only part of the benchmark. */
+    bool partial() const { return numSkipped > 0; }
 };
 
 } // namespace lrd

@@ -7,7 +7,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "robust/cancel.h"
 #include "robust/fault.h"
+#include "robust/signal.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -154,14 +156,23 @@ symmetricEigen(const Tensor &s, int maxSweeps)
     const bool forceNonConverge = faultAt("jacobi", FaultKind::NonConverge);
     if (forceNonConverge)
         maxSweeps = 0;
+    pollCancelFault("jacobi");
 
     // Evaluate the off-diagonal norm once up front and once after each
     // sweep: the same sequence of off() evaluations as the plain
     // `off() > tol` loop condition, so results stay bitwise identical,
     // but the current norm is available as a trace-span payload.
     int sweepsDone = 0;
+    bool cancelled = false;
     double offNow = off();
     for (int sweep = 0; sweep < maxSweeps && offNow > tol; ++sweep) {
+        // Sweep boundaries are the eigensolver's cancellation points:
+        // a partially rotated matrix only ever escapes with a
+        // Cancelled status telling the caller to discard it.
+        if (cancelRequested()) {
+            cancelled = true;
+            break;
+        }
         LRD_TRACE_SPAN("jacobi.sweep", offNow);
         for (int64_t p = 0; p < n - 1; ++p) {
             for (int64_t q = p + 1; q < n; ++q) {
@@ -221,12 +232,15 @@ symmetricEigen(const Tensor &s, int maxSweeps)
         }
         ++sweepsDone;
         jm.sweeps->inc();
+        noteProgress("jacobi.sweep");
         offNow = off();
     }
     jm.sweepsPerCall->record(sweepsDone);
 
     Status convergence;
-    if (forceNonConverge || offNow > tol) {
+    if (cancelled) {
+        convergence = cancelStatus("jacobi");
+    } else if (forceNonConverge || offNow > tol) {
         jm.nonconverged->inc();
         convergence = Status(
             StatusCode::NonConvergence, "jacobi",

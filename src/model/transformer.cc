@@ -6,6 +6,7 @@
 
 #include "robust/fault.h"
 #include "robust/recovery.h"
+#include "robust/signal.h"
 #include "tensor/ops.h"
 #include "util/cache.h"
 #include "util/logging.h"
@@ -24,6 +25,7 @@ guardBlockOutput(Tensor &h, int64_t layerIdx)
 {
     if (faultAt("model.block", FaultKind::Nan) && h.size() > 0)
         h[0] = std::numeric_limits<float>::quiet_NaN();
+    pollCancelFault("model.block");
     const int64_t bad = firstNonFinite(h.data(), h.size());
     if (bad >= 0)
         reportNonFinite("model.block", layerIdx, bad);

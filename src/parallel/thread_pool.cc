@@ -5,15 +5,13 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/cancel.h"
 #include "util/logging.h"
 #include "util/worker_lane.h"
 
 namespace lrd {
 
 namespace {
-
-/** Set while this thread executes a chunk body or posts a job. */
-thread_local bool tlInParallel = false;
 
 int
 defaultThreadCount()
@@ -87,7 +85,7 @@ ThreadPool::joinWorkers()
 void
 ThreadPool::resize(int n)
 {
-    require(!tlInParallel && workerLane() == 0,
+    require(!lrd::inParallelRegion() && workerLane() == 0,
             "ThreadPool::resize: cannot resize from inside a parallel "
             "region");
     require(n >= 1, "ThreadPool::resize: thread count must be >= 1");
@@ -113,7 +111,7 @@ ThreadPool::workerIndex()
 bool
 ThreadPool::inParallelRegion()
 {
-    return tlInParallel;
+    return lrd::inParallelRegion();
 }
 
 int64_t
@@ -129,13 +127,26 @@ void
 ThreadPool::runAvailableChunks(std::unique_lock<std::mutex> &lock)
 {
     while (body_ != nullptr && nextChunk_ < jobChunks_) {
+        // Cooperative drain: once cancellation is requested, unclaimed
+        // chunks are dropped (in-flight ones finish normally) and the
+        // poster wakes with the region "complete". Callers observe the
+        // token after the region and discard partial output.
+        if (cancelRequested()) {
+            chunksLeft_ -= jobChunks_ - nextChunk_;
+            nextChunk_ = jobChunks_;
+            if (chunksLeft_ == 0) {
+                body_ = nullptr;
+                doneCv_.notify_all();
+            }
+            break;
+        }
         const int64_t chunk = nextChunk_++;
         const ChunkFn *body = body_;
         const int64_t lo = jobBegin_ + chunk * jobGrain_;
         const int64_t hi = std::min(jobEnd_, lo + jobGrain_);
         lock.unlock();
-        const bool wasIn = tlInParallel;
-        tlInParallel = true;
+        const bool wasIn = lrd::inParallelRegion();
+        setInParallelRegion(true);
         chunksCounter_->inc();
         std::exception_ptr error;
         try {
@@ -144,7 +155,8 @@ ThreadPool::runAvailableChunks(std::unique_lock<std::mutex> &lock)
         } catch (...) {
             error = std::current_exception();
         }
-        tlInParallel = wasIn;
+        setInParallelRegion(wasIn);
+        noteProgress("pool.chunk");
         lock.lock();
         if (error && !jobError_)
             jobError_ = error;
@@ -191,22 +203,25 @@ ThreadPool::parallelForChunks(int64_t begin, int64_t end, int64_t grain,
     // Serial cases: a single chunk, a 1-thread pool, or a nested call
     // from inside a running region. Chunk boundaries are identical to
     // the parallel path, so results are bitwise the same.
-    if (chunks == 1 || numThreads_ == 1 || tlInParallel
+    if (chunks == 1 || numThreads_ == 1 || lrd::inParallelRegion()
         || workerLane() != 0) {
-        const bool wasIn = tlInParallel;
-        tlInParallel = true;
+        const bool wasIn = lrd::inParallelRegion();
+        setInParallelRegion(true);
         try {
             for (int64_t c = 0; c < chunks; ++c) {
+                if (cancelRequested())
+                    break; // Same drain semantics as the pooled path.
                 const int64_t lo = begin + c * g;
                 chunksCounter_->inc();
                 LRD_TRACE_SPAN("pool.chunk");
                 body(c, lo, std::min(end, lo + g));
+                noteProgress("pool.chunk");
             }
         } catch (...) {
-            tlInParallel = wasIn;
+            setInParallelRegion(wasIn);
             throw; // lrd-lint: allow(naked-throw) -- rethrow, not a report
         }
-        tlInParallel = wasIn;
+        setInParallelRegion(wasIn);
         return;
     }
 

@@ -104,10 +104,26 @@ writeCheckpoint(const std::string &path, uint32_t version,
     LRD_TRACE_SPAN("ckpt.write");
     static Counter *writes =
         MetricsRegistry::instance().counter("checkpoint.writes");
+    static Counter *staleSwept =
+        MetricsRegistry::instance().counter("checkpoint.staleTmpSwept");
 
     if (faultAt("ckpt.write", FaultKind::Alloc))
         return Status(StatusCode::ResourceExhausted, "ckpt.write",
                       "injected allocation failure");
+
+    // Sweep the leftover of a writer that was killed mid-write: a
+    // stale .tmp is never a valid resume source (it was never
+    // renamed), only disk waste and confusion.
+    const std::string tmp = path + ".tmp";
+    {
+        std::error_code ec;
+        if (fs::exists(tmp, ec)) {
+            warn("checkpoint: sweeping stale temp file " + tmp
+                 + " left by an interrupted writer");
+            staleSwept->inc();
+            fs::remove(tmp, ec);
+        }
+    }
 
     std::vector<uint8_t> blob;
     blob.reserve(kHeaderSize + payload.size());
@@ -126,7 +142,23 @@ writeCheckpoint(const std::string &path, uint32_t version,
     if (faultAt("ckpt.write", FaultKind::Truncate))
         writeLen = kHeaderSize + payload.size() / 2;
 
-    const std::string tmp = path + ".tmp";
+    // Injected kill mid-write: leave a half-written .tmp behind (never
+    // renamed into place) exactly as a real killed writer would — the
+    // sweep above reclaims it on the next write.
+    if (faultAt("ckpt.write", FaultKind::Cancel)) {
+        const int tmpFd =
+            ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (tmpFd >= 0) {
+            static_cast<void>(writeAll(tmpFd, blob.data(),
+                                       kHeaderSize + payload.size() / 2,
+                                       tmp));
+            ::close(tmpFd);
+        }
+        return Status(StatusCode::Cancelled, "ckpt.write",
+                      "injected kill during checkpoint write (stale .tmp "
+                      "left behind)");
+    }
+
     const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0)
         return Status(StatusCode::Internal, "ckpt.write",
@@ -146,6 +178,24 @@ writeCheckpoint(const std::string &path, uint32_t version,
     if (ec)
         return Status(StatusCode::Internal, "ckpt.write",
                       "rename into " + path + " failed: " + ec.message());
+
+    // Persist the rename itself: without an fsync of the parent
+    // directory a crash right after the rename can roll the directory
+    // entry back to the old checkpoint (or to nothing). Best-effort —
+    // some filesystems refuse directory fsync.
+    fs::path parent = fs::path(path).parent_path();
+    if (parent.empty())
+        parent = ".";
+    const int dirFd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dirFd >= 0) {
+        if (::fsync(dirFd) != 0)
+            warn("checkpoint: directory fsync failed for "
+                 + parent.string());
+        ::close(dirFd);
+    } else {
+        warn("checkpoint: cannot open parent directory " + parent.string()
+             + " for fsync");
+    }
     writes->inc();
     return Status();
 }
@@ -160,6 +210,9 @@ readCheckpoint(const std::string &path, uint32_t version)
     if (faultAt("ckpt.read", FaultKind::Alloc))
         return Status(StatusCode::ResourceExhausted, "ckpt.read",
                       "injected allocation failure");
+    if (faultAt("ckpt.read", FaultKind::Cancel))
+        return Status(StatusCode::Cancelled, "ckpt.read",
+                      "injected cancellation during checkpoint read");
 
     std::ifstream ifs(path, std::ios::binary | std::ios::ate);
     if (!ifs)

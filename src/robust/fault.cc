@@ -152,6 +152,28 @@ faultInjectionEnabled()
     return state().armed.load(std::memory_order_acquire);
 }
 
+const std::vector<FaultSiteInfo> &
+registeredFaultSites()
+{
+    static const std::vector<FaultSiteInfo> sites = {
+        {"jacobi", "nonconv,cancel",
+         "Jacobi eigensolver sweep loop (src/linalg)"},
+        {"model.block", "nan,cancel",
+         "Transformer block forward pass (src/model)"},
+        {"eval.item", "alloc,cancel",
+         "Per-item benchmark scoring (src/eval)"},
+        {"train.step", "cancel",
+         "Top of a trainer optimizer step (src/train)"},
+        {"dse.batch", "cancel",
+         "Top of a DSE candidate batch (src/dse)"},
+        {"ckpt.write", "alloc,truncate,bitflip,cancel",
+         "Checkpoint serialization and atomic write (src/robust)"},
+        {"ckpt.read", "alloc,cancel",
+         "Checkpoint load and validation (src/robust)"},
+    };
+    return sites;
+}
+
 bool
 faultAt(const char *site, FaultKind kind)
 {

@@ -22,6 +22,7 @@
 #define LRD_ROBUST_FAULT_H
 
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -70,6 +71,22 @@ bool faultInjectionEnabled();
  * disarmed path is a single atomic load + branch.
  */
 bool faultAt(const char *site, FaultKind kind);
+
+/** One compiled-in injection point (for docs and coverage tests). */
+struct FaultSiteInfo
+{
+    const char *site;        ///< Name used in LRD_FAULT.
+    const char *kinds;       ///< Comma-separated kinds the site honors.
+    const char *description; ///< Where in the pipeline it fires.
+};
+
+/**
+ * Every injection site compiled into the binary. `lrdtool faults`
+ * renders this as the documented table, and tests/robust_test.cc
+ * drives a cancel fault through each entry — adding a site without
+ * registering it here fails that test.
+ */
+const std::vector<FaultSiteInfo> &registeredFaultSites();
 
 } // namespace lrd
 

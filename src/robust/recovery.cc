@@ -163,11 +163,15 @@ enforceFailureBudget(const char *site, int64_t numFailed, int64_t total,
     const RobustPolicy policy = robustPolicy();
     const int64_t budget = failureBudgetItems(policy, total);
     if (numFailed > budget)
-        fatal(strCat(site, ": ", numFailed, " of ", total,
-                     " items failed, exceeding the failure budget of ",
-                     budget, " (LRD_ROBUST=", robustModeName(policy.mode),
-                     ", budget ", policy.failureBudget, "); first: ",
-                     example.toString()));
+        // Carries the structured code through the unwind so lrdtool
+        // can exit with the documented degraded-past-budget code.
+        throwStatus(Status(
+            StatusCode::ResourceExhausted, site,
+            strCat(numFailed, " of ", total,
+                   " items failed, exceeding the failure budget of ",
+                   budget, " (LRD_ROBUST=", robustModeName(policy.mode),
+                   ", budget ", policy.failureBudget, "); first: ",
+                   example.toString())));
     warn(strCat(site, ": degraded ", numFailed, " of ", total,
                 " items (budget ", budget, "); first: ",
                 example.toString()));

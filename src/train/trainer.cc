@@ -6,9 +6,10 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "robust/cancel.h"
 #include "robust/checkpoint.h"
-#include "robust/fault.h"
 #include "robust/recovery.h"
+#include "robust/signal.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -206,17 +207,31 @@ Trainer::run()
 
     static Counter *stepCounter =
         MetricsRegistry::instance().counter("train.steps");
+    WatchdogSection watched("train");
     for (int step = startStep; step < opts_.steps; ++step) {
-        if (faultAt("train.step", FaultKind::Cancel)) {
-            // Simulated kill: stop mid-run, leaving the last
-            // checkpoint as the resume point.
-            status_ = Status(StatusCode::Cancelled, "train.step",
-                             strCat("injected cancellation before step ",
-                                    step));
+        // Top-of-step is the trainer's cancellation point: the state
+        // here equals the end of the previous step, so the final
+        // checkpoint written on the way out resumes bitwise
+        // identically to an uninterrupted run.
+        pollCancelFault("train.step");
+        Status cancel = checkCancellation("train.step");
+        if (cancel.ok() && consumeWorkBudget("steps", 1) < 1) {
+            expireDeadline("train.step");
+            cancel = cancelStatus("train.step");
+        }
+        if (!cancel.ok()) {
+            status_ = cancel;
+            if (!opts_.checkpointPath.empty())
+                writeTrainCheckpoint(optimizer, step);
             break;
         }
         LRD_TRACE_SPAN("train.step");
         stepCounter->inc();
+        // Snapshot the example streams: if a signal lands mid-batch
+        // the partially computed step is discarded and the RNGs roll
+        // back so the checkpoint matches top-of-step state.
+        const RngState genState = gen_.rng().state();
+        const RngState maskState = maskRng_.state();
         for (int b = 0; b < opts_.batchSeqs; ++b)
             makeExample(tokens[static_cast<size_t>(b)],
                         targets[static_cast<size_t>(b)]);
@@ -278,6 +293,17 @@ Trainer::run()
             }
         });
 
+        if (cancelRequested()) {
+            // Cancelled mid-batch: the pool dropped unclaimed chunks,
+            // so item buffers are incomplete. Discard the step.
+            gen_.rng().setState(genState);
+            maskRng_.setState(maskState);
+            status_ = cancelStatus("train.step");
+            if (!opts_.checkpointPath.empty())
+                writeTrainCheckpoint(optimizer, step);
+            break;
+        }
+
         // Fixed-order reduction: grads and loss fold in item order.
         // Failed items are skipped entirely, so the summation tree for
         // the surviving items is still identical at every thread count.
@@ -330,6 +356,7 @@ Trainer::run()
                           static_cast<int>(timer.elapsedSeconds()),
                           "s elapsed)"));
         }
+        noteProgress("train.step");
     }
     model_.clearCache();
     return lastLoss;

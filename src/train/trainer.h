@@ -53,9 +53,11 @@ class Trainer
     double evalLoss(int numDocs, uint64_t seed = 555);
 
     /**
-     * Status of the last run(): ok on full completion, Cancelled when
-     * an injected "train.step" cancel stopped the loop early (the
-     * checkpoint on disk then carries the completed prefix).
+     * Status of the last run(): ok on full completion; Cancelled when
+     * a signal or injected "train.step" cancel stopped the loop early;
+     * DeadlineExceeded when an LRD_DEADLINE expired. In every early
+     * stop a final checkpoint (when checkpointing is enabled) carries
+     * the completed prefix, so the run is resumable.
      */
     const Status &runStatus() const { return status_; }
 

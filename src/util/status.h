@@ -17,6 +17,7 @@
 #ifndef LRD_UTIL_STATUS_H
 #define LRD_UTIL_STATUS_H
 
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -35,6 +36,7 @@ enum class StatusCode : int
     NonConvergence,    ///< Iterative kernel hit its sweep cap.
     NonFinite,         ///< NaN/Inf appeared in a numeric pipeline.
     Cancelled,         ///< Work stopped before completion.
+    DeadlineExceeded,  ///< A work-unit or wall-clock deadline expired.
     Internal,          ///< Invariant violation / unexpected error.
 };
 
@@ -59,6 +61,8 @@ statusCodeName(StatusCode code)
         return "non-finite";
     case StatusCode::Cancelled:
         return "cancelled";
+    case StatusCode::DeadlineExceeded:
+        return "deadline-exceeded";
     case StatusCode::Internal:
         return "internal";
     }
@@ -108,6 +112,35 @@ class Status
     const char *site_ = "";
     std::string message_;
 };
+
+/**
+ * Exception form of a Status, for the few places (failure budgets,
+ * strict-mode aborts) where an error must unwind through code that
+ * has no Status return channel. Derives from std::runtime_error so
+ * callers that only know about fatal()'s exception type still catch
+ * it; callers that know better (lrdtool's exit-code mapping) can
+ * recover the structured Status.
+ */
+class StatusError : public std::runtime_error
+{
+  public:
+    explicit StatusError(Status status)
+        : std::runtime_error(status.toString()), status_(std::move(status))
+    {
+    }
+
+    const Status &status() const { return status_; }
+
+  private:
+    Status status_;
+};
+
+/** Throw `status` as a StatusError (the Status-carrying fatal()). */
+[[noreturn]] inline void
+throwStatus(Status status)
+{
+    throw StatusError(std::move(status));
+}
 
 /**
  * A T or the Status explaining why there is none. T must be

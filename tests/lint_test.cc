@@ -234,6 +234,59 @@ TEST(LintThrow, UtilAndNonSrcTreesAreExempt)
                         kRuleNakedThrow));
 }
 
+// --------------------------------------------------------- blocking sleep
+
+TEST(LintSleep, FlaggedInPipelineCodeAndSuppressible)
+{
+    const auto diags = lintSnippet("src/train/trainer.cc", R"(
+        void f() {
+            std::this_thread::sleep_for(std::chrono::seconds(1));
+        }
+    )");
+    const Diagnostic *d = findRule(diags, kRuleBlockingSleep);
+    ASSERT_NE(nullptr, d);
+    EXPECT_NE(std::string::npos, d->message.find("robust"));
+
+    const auto ok = lintSnippet("src/train/trainer.cc", R"(
+        void f() {
+            std::this_thread::sleep_for( // lrd-lint: allow(blocking-sleep)
+                std::chrono::seconds(1));
+        }
+    )");
+    EXPECT_FALSE(hasRule(ok, kRuleBlockingSleep));
+}
+
+TEST(LintSleep, WatchdogAndToolsAreExempt)
+{
+    const std::string snippet =
+        "void f() { std::this_thread::sleep_for(t); }";
+    EXPECT_FALSE(hasRule(lintSnippet("src/robust/cancel.cc", snippet),
+                         kRuleBlockingSleep));
+    EXPECT_FALSE(hasRule(lintSnippet("tools/lrdtool.cc", snippet),
+                         kRuleBlockingSleep));
+    EXPECT_TRUE(hasRule(lintSnippet("src/eval/evaluator.cc", snippet),
+                        kRuleBlockingSleep));
+    EXPECT_TRUE(hasRule(lintSnippet("src/parallel/thread_pool.cc",
+                                    snippet),
+                        kRuleBlockingSleep));
+    EXPECT_TRUE(hasRule(lintSnippet("tests/some_test.cc", snippet),
+                        kRuleBlockingSleep));
+    EXPECT_TRUE(hasRule(lintSnippet("src/robust_adjacent/x.cc", snippet),
+                        kRuleBlockingSleep));
+}
+
+TEST(LintSleep, CoversEveryBlockingPrimitive)
+{
+    for (const char *call : {"usleep(100)", "nanosleep(&ts, nullptr)",
+                             "std::this_thread::sleep_until(tp)"}) {
+        const std::string snippet =
+            "void f() { " + std::string(call) + "; }";
+        EXPECT_TRUE(hasRule(lintSnippet("src/linalg/linalg.cc", snippet),
+                            kRuleBlockingSleep))
+            << call;
+    }
+}
+
 // ----------------------------------------------------------- header rules
 
 TEST(LintHeader, MissingGuardFlagged)

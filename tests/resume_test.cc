@@ -17,8 +17,10 @@
 #include "eval/evaluator.h"
 #include "model/transformer.h"
 #include "parallel/thread_pool.h"
+#include "robust/cancel.h"
 #include "robust/fault.h"
 #include "robust/recovery.h"
+#include "robust/signal.h"
 #include "train/trainer.h"
 
 namespace lrd {
@@ -37,6 +39,11 @@ struct RobustGuard
         clearFaults();
         setRobustPolicy(RobustPolicy{});
         takeNumericFault();
+        // The cancel token is process-wide: a leftover request or
+        // armed deadline would abort every later test immediately.
+        clearCancelRequest();
+        clearDeadline();
+        resetSignalsForTest();
     }
 };
 
@@ -143,12 +150,60 @@ TEST(Resume, TrainerKillAndResumeIsBitwiseIdentical)
             setFault(FaultSpec{"train.step", FaultKind::Cancel, 8});
             trainer.run();
             clearFaults();
+            clearCancelRequest();
             ASSERT_EQ(trainer.runStatus().code(), StatusCode::Cancelled)
                 << "threads=" << nThreads;
         }
 
         // Resumed run: picks up at the checkpoint and must land on
         // bitwise the same weights and loss as the reference.
+        opts.resume = true;
+        TransformerModel model(smallConfig(), 777);
+        Trainer trainer(model, smallWorld(), opts);
+        const double loss = trainer.run();
+        EXPECT_TRUE(trainer.runStatus().ok());
+        EXPECT_EQ(loss, refLoss) << "threads=" << nThreads;
+        EXPECT_EQ(model.serialize(), refBytes) << "threads=" << nThreads;
+    }
+    ThreadPool::instance().resize(1);
+}
+
+TEST(Resume, TrainerSigintKillAndResumeIsBitwiseIdentical)
+{
+    RobustGuard guard;
+    // Real handler path: the injected cancel fault raises an actual
+    // SIGINT, which travels through the async-signal-safe handler into
+    // the cooperative token — exactly what an operator's Ctrl-C does.
+    installSignalHandlers();
+    for (int nThreads : {1, 4, 8}) {
+        ThreadPool::instance().resize(nThreads);
+
+        TrainOptions clean = resumableTrainOptions();
+        TransformerModel refModel(smallConfig(), 777);
+        Trainer ref(refModel, smallWorld(), clean);
+        const double refLoss = ref.run();
+        const std::vector<uint8_t> refBytes = refModel.serialize();
+
+        TrainOptions opts = resumableTrainOptions();
+        opts.checkpointPath =
+            ckptPath("lrd_sigint_train_" + std::to_string(nThreads)
+                     + ".bin");
+        opts.checkpointEvery = 4;
+        {
+            TransformerModel model(smallConfig(), 777);
+            Trainer trainer(model, smallWorld(), opts);
+            resetSignalsForTest();
+            setFault(FaultSpec{"train.step", FaultKind::Cancel, 8});
+            trainer.run();
+            clearFaults();
+            ASSERT_EQ(trainer.runStatus().code(), StatusCode::Cancelled)
+                << "threads=" << nThreads;
+            EXPECT_EQ(cancelCause(), CancelCause::Signal);
+            EXPECT_EQ(signalsSeen(), 1);
+            clearCancelRequest();
+            resetSignalsForTest();
+        }
+
         opts.resume = true;
         TransformerModel model(smallConfig(), 777);
         Trainer trainer(model, smallWorld(), opts);
@@ -216,12 +271,57 @@ TEST(Resume, DseKillAndResumeMatchesUninterruptedSweep)
     const OptimizerResult cut =
         optimizeDecomposition(trainedBytes(), smallWorld(), opts);
     clearFaults();
+    clearCancelRequest();
     ASSERT_TRUE(cut.cancelled);
+    EXPECT_EQ(cut.status.code(), StatusCode::Cancelled);
     EXPECT_EQ(cut.explored.size(), 2U);
     ASSERT_TRUE(fs::exists(opts.checkpointPath));
 
     // Resumed sweep: restores the baseline and the completed prefix
     // from the checkpoint and must reproduce the reference bitwise.
+    opts.resume = true;
+    const OptimizerResult resumed =
+        optimizeDecomposition(trainedBytes(), smallWorld(), opts);
+    ASSERT_FALSE(resumed.cancelled);
+    EXPECT_EQ(resumed.baselineAccuracy, ref.baselineAccuracy);
+    EXPECT_EQ(resumed.baselineEdp, ref.baselineEdp);
+    expectSameRecords(resumed.explored, ref.explored);
+    EXPECT_EQ(resumed.best.config.describe(), ref.best.config.describe());
+    EXPECT_EQ(resumed.best.edp, ref.best.edp);
+    ThreadPool::instance().resize(1);
+}
+
+TEST(Resume, DseSigintKillAndResumeMatchesUninterruptedSweep)
+{
+    RobustGuard guard;
+    installSignalHandlers();
+    ThreadPool::instance().resize(4);
+
+    OptimizerOptions opts;
+    opts.evalTasks = 10;
+    opts.accuracyDropTolerance = 1.1;
+
+    const OptimizerResult ref =
+        optimizeDecomposition(trainedBytes(), smallWorld(), opts);
+    ASSERT_FALSE(ref.cancelled);
+
+    // A real SIGINT at the start of the second batch: the sweep
+    // checkpoints the completed prefix and stops as Cancelled.
+    opts.checkpointPath = ckptPath("lrd_sigint_dse.bin");
+    opts.checkpointEvery = 2;
+    resetSignalsForTest();
+    setFault(FaultSpec{"dse.batch", FaultKind::Cancel, 2});
+    const OptimizerResult cut =
+        optimizeDecomposition(trainedBytes(), smallWorld(), opts);
+    clearFaults();
+    ASSERT_TRUE(cut.cancelled);
+    EXPECT_EQ(cut.status.code(), StatusCode::Cancelled);
+    EXPECT_EQ(cancelCause(), CancelCause::Signal);
+    EXPECT_EQ(signalsSeen(), 1);
+    clearCancelRequest();
+    resetSignalsForTest();
+    ASSERT_TRUE(fs::exists(opts.checkpointPath));
+
     opts.resume = true;
     const OptimizerResult resumed =
         optimizeDecomposition(trainedBytes(), smallWorld(), opts);

@@ -3,7 +3,8 @@
  * Unit tests for the fault-tolerance layer: Status/Result semantics,
  * the fault-injection harness, CRC-protected checkpoints (including
  * injected truncation/bit-flip/allocation failures), numeric-fault
- * detection, the failure budget, and retry-with-reseed determinism.
+ * detection, the failure budget, retry-with-reseed determinism, and a
+ * parametrized cancel-kill pass over every registered fault site.
  */
 
 #include <cstdint>
@@ -16,10 +17,17 @@
 
 #include <gtest/gtest.h>
 
+#include "dse/optimizer.h"
+#include "eval/evaluator.h"
+#include "model/transformer.h"
+#include "parallel/thread_pool.h"
+#include "robust/cancel.h"
 #include "robust/checkpoint.h"
 #include "robust/fault.h"
 #include "robust/recovery.h"
 #include "robust/retry.h"
+#include "robust/signal.h"
+#include "train/trainer.h"
 #include "util/status.h"
 
 using namespace lrd;
@@ -38,6 +46,11 @@ struct RobustGuard
         clearFaults();
         setRobustPolicy(RobustPolicy{});
         takeNumericFault();
+        // The cancel token is process-wide: a leftover request or
+        // armed deadline would abort every later test immediately.
+        clearCancelRequest();
+        clearDeadline();
+        resetSignalsForTest();
     }
 };
 
@@ -50,6 +63,41 @@ ckptPath(const std::string &name)
     fs::remove(p.string() + ".prev");
     fs::remove(p.string() + ".tmp");
     return p.string();
+}
+
+WorldSpec
+smallSpec()
+{
+    WorldSpec s;
+    s.numEntities = 12;
+    s.numColors = 5;
+    s.numCategories = 5;
+    s.numPlaces = 5;
+    s.numNumbers = 14;
+    s.numVerbs = 3;
+    s.numPatternSymbols = 6;
+    s.seed = 7;
+    return s;
+}
+
+const World &
+smallWorld()
+{
+    static World w(smallSpec());
+    return w;
+}
+
+ModelConfig
+smallConfig()
+{
+    ModelConfig cfg = testLlamaConfig();
+    cfg.vocabSize = smallWorld().vocabSize();
+    cfg.dModel = 32;
+    cfg.nHeads = 4;
+    cfg.dFf = 64;
+    cfg.nLayers = 4;
+    cfg.maxSeq = 48;
+    return cfg;
 }
 
 } // namespace
@@ -366,4 +414,116 @@ TEST(Retry, ExhaustedAttemptsReturnTheLastFailure)
     });
     EXPECT_EQ(calls, 3);
     EXPECT_EQ(s.code(), StatusCode::NonConvergence);
+}
+
+TEST(Checkpoint, SweepsAStaleTmpFileBeforeWriting)
+{
+    RobustGuard guard;
+    const std::string path = ckptPath("lrd_robust_ckpt_sweep.bin");
+    {
+        // A killed writer's leftover: junk at <path>.tmp, never renamed.
+        std::ofstream f(path + ".tmp", std::ios::binary);
+        f << "half-written garbage";
+    }
+    ASSERT_TRUE(fs::exists(path + ".tmp"));
+
+    const std::vector<uint8_t> payload = {3, 1, 4, 1, 5};
+    ASSERT_TRUE(writeCheckpoint(path, 1, payload).ok());
+    EXPECT_FALSE(fs::exists(path + ".tmp")); // Swept, then reused.
+    const Result<std::vector<uint8_t>> r = readCheckpoint(path, 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), payload);
+}
+
+/**
+ * Every registered fault site must support an injected cancel kill and
+ * wind down with a Cancelled status. A site in the registry with no
+ * driver here fails the test, so the table and the coverage cannot
+ * drift apart.
+ */
+TEST(FaultSites, EveryRegisteredSiteSupportsCancelKill)
+{
+    RobustGuard guard;
+    ThreadPool::instance().resize(1);
+    ASSERT_FALSE(registeredFaultSites().empty());
+    for (const FaultSiteInfo &info : registeredFaultSites()) {
+        SCOPED_TRACE(info.site);
+        const std::string site = info.site;
+        EXPECT_NE(std::string(info.kinds).find("cancel"),
+                  std::string::npos)
+            << "every site must list the cancel kind";
+
+        if (site == "jacobi") {
+            TransformerModel model(smallConfig(), 42);
+            setFault(FaultSpec{"jacobi", FaultKind::Cancel, 1});
+            const Status s = model.applyTucker(0, WeightKind::Query, 2);
+            EXPECT_EQ(s.code(), StatusCode::Cancelled) << s.toString();
+            // The kill never commits a partially rotated factor.
+            EXPECT_FALSE(
+                model.linear(0, WeightKind::Query).isFactorized());
+        } else if (site == "model.block") {
+            TransformerModel model(smallConfig(), 42);
+            Evaluator ev(model, smallWorld(), EvalOptions{12, 5, false});
+            setFault(FaultSpec{"model.block", FaultKind::Cancel, 1});
+            const EvalResult r = ev.run(BenchmarkKind::ArcEasy);
+            EXPECT_TRUE(r.partial());
+            EXPECT_EQ(r.status.code(), StatusCode::Cancelled);
+        } else if (site == "eval.item") {
+            TransformerModel model(smallConfig(), 42);
+            Evaluator ev(model, smallWorld(), EvalOptions{12, 5, false});
+            setFault(FaultSpec{"eval.item", FaultKind::Cancel, 3});
+            const EvalResult r = ev.run(BenchmarkKind::ArcEasy);
+            EXPECT_TRUE(r.partial());
+            EXPECT_EQ(r.status.code(), StatusCode::Cancelled);
+            EXPECT_EQ(r.numTasks, 12);
+        } else if (site == "train.step") {
+            TransformerModel model(smallConfig(), 7);
+            TrainOptions t;
+            t.steps = 4;
+            t.batchSeqs = 2;
+            t.seqLen = 16;
+            t.warmupSteps = 1;
+            t.logEvery = 0;
+            Trainer trainer(model, smallWorld(), t);
+            setFault(FaultSpec{"train.step", FaultKind::Cancel, 2});
+            trainer.run();
+            EXPECT_EQ(trainer.runStatus().code(), StatusCode::Cancelled);
+        } else if (site == "dse.batch") {
+            const std::vector<uint8_t> bytes = [] {
+                TransformerModel model(smallConfig(), 17);
+                return model.serialize();
+            }();
+            OptimizerOptions opts;
+            opts.evalTasks = 6;
+            opts.accuracyDropTolerance = 1.1;
+            setFault(FaultSpec{"dse.batch", FaultKind::Cancel, 1});
+            const OptimizerResult r =
+                optimizeDecomposition(bytes, smallWorld(), opts);
+            EXPECT_TRUE(r.cancelled);
+            EXPECT_EQ(r.status.code(), StatusCode::Cancelled);
+        } else if (site == "ckpt.write") {
+            const std::string path = ckptPath("lrd_robust_site_w.bin");
+            setFault(FaultSpec{"ckpt.write", FaultKind::Cancel, 1});
+            const Status s = writeCheckpoint(path, 1, {1, 2, 3});
+            EXPECT_EQ(s.code(), StatusCode::Cancelled);
+            // The kill leaves the half-written .tmp, never the primary;
+            // the next write sweeps the leftover.
+            EXPECT_TRUE(fs::exists(path + ".tmp"));
+            EXPECT_FALSE(fs::exists(path));
+            clearFaults();
+            ASSERT_TRUE(writeCheckpoint(path, 1, {1, 2, 3}).ok());
+            EXPECT_FALSE(fs::exists(path + ".tmp"));
+        } else if (site == "ckpt.read") {
+            const std::string path = ckptPath("lrd_robust_site_r.bin");
+            ASSERT_TRUE(writeCheckpoint(path, 1, {9}).ok());
+            setFault(FaultSpec{"ckpt.read", FaultKind::Cancel, 1});
+            const Result<std::vector<uint8_t>> r = readCheckpoint(path, 1);
+            ASSERT_FALSE(r.ok());
+            EXPECT_EQ(r.status().code(), StatusCode::Cancelled);
+        } else {
+            FAIL() << "registered fault site '" << site
+                   << "' has no cancel-kill driver in this test; add one";
+        }
+        RobustGuard::reset();
+    }
 }

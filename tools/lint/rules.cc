@@ -41,6 +41,10 @@ const std::set<std::string> kUnordered = {
     "unordered_multiset",
 };
 
+const std::set<std::string> kBlockingSleep = {
+    "sleep_for", "sleep_until", "usleep", "nanosleep",
+};
+
 bool
 startsWith(const std::string &s, const std::string &prefix)
 {
@@ -151,6 +155,10 @@ checkBannedIdentifiers(const SourceFile &file, const std::vector<Token> &toks,
                             startsWith(file.path, "src/util/worker_lane.");
     const bool throwHome =
         !startsWith(file.path, "src/") || startsWith(file.path, "src/util/");
+    // The watchdog monitor (src/robust/) and operator tooling may
+    // block on a timeout; pipeline and numeric code must never sleep.
+    const bool sleepHome = startsWith(file.path, "src/robust/") ||
+                           startsWith(file.path, "tools/");
     const std::string mod = moduleOf(file.path);
     const bool numericCore =
         startsWith(file.path, "src/") && kNumericCore.count(mod) > 0;
@@ -194,6 +202,13 @@ checkBannedIdentifiers(const SourceFile &file, const std::vector<Token> &toks,
                           "': iteration order is unspecified and would "
                           "make reductions thread-count- and "
                           "seed-dependent; use std::map or a sorted vector");
+        }
+        if (!sleepHome && kBlockingSleep.count(t.text)) {
+            sink.emit(t.line, kRuleBlockingSleep,
+                      "'" + t.text +
+                          "' blocks a pool lane and stretches wall-clock "
+                          "deadlines nondeterministically; sleeps belong "
+                          "in src/robust/ (watchdog) or tools/ only");
         }
         if (!threadHome) {
             const bool stdThread =

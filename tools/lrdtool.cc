@@ -16,12 +16,18 @@
  *   lrdtool train [flags]                 checkpointed training run
  *   lrdtool dse [flags]                   checkpointed Definition-1
  *                                         sweep on the tiny stand-in
+ *   lrdtool faults                        fault-injection site table
  *
  * Presets: llama2-7b, llama2-70b, bert-base, bert-large, tiny-llama,
  * tiny-bert.
  *
  * Environment: LRD_THREADS, LRD_LOG, LRD_TRACE, LRD_STATS, LRD_ROBUST,
- * LRD_FAULT (see usage()).
+ * LRD_FAULT, LRD_DEADLINE, LRD_WATCHDOG (see usage()).
+ *
+ * Exit codes (see README.md): 0 ok, 1 error, 2 degraded past the
+ * failure budget, 3 cancelled (SIGINT/SIGTERM), 4 deadline exceeded,
+ * 5 corrupt checkpoint, 6 non-convergence. A second signal force-exits
+ * with the POSIX 128+signo code.
  */
 
 #include <cstdio>
@@ -43,8 +49,10 @@
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "robust/cancel.h"
 #include "robust/checkpoint.h"
 #include "robust/fault.h"
+#include "robust/signal.h"
 #include "train/model_zoo.h"
 #include "train/trainer.h"
 #include "util/table.h"
@@ -250,12 +258,18 @@ cmdEval(double percent)
         gamma.applyTo(model);
     }
     Evaluator ev(model, defaultWorld(), EvalOptions{120, 777, false});
+    Status worst;
     for (BenchmarkKind kind : allBenchmarks()) {
         const EvalResult r = ev.run(kind);
-        std::printf("%-14s %.3f (%d/%d)\n", benchmarkName(kind).c_str(),
-                    r.accuracy, r.numCorrect, r.numTasks);
+        std::printf("%-14s %.3f (%d/%d)%s\n", benchmarkName(kind).c_str(),
+                    r.accuracy, r.numCorrect, r.numTasks,
+                    r.partial() ? " [partial]" : "");
+        if (worst.ok() && !r.status.ok())
+            worst = r.status;
     }
-    return 0;
+    if (!worst.ok())
+        std::printf("status     %s\n", worst.toString().c_str());
+    return exitCodeForStatus(worst);
 }
 
 /**
@@ -350,7 +364,7 @@ cmdTrain(const Flags &flags)
     std::printf("final loss %.6f\n", loss);
     std::printf("weights    crc32 %08x (%zu bytes)\n", crc32(bytes),
                 bytes.size());
-    return 0;
+    return exitCodeForStatus(trainer.runStatus());
 }
 
 /** A checkpointed Definition-1 sweep on the tiny stand-in model. */
@@ -366,7 +380,8 @@ cmdDse(const Flags &flags)
     const OptimizerResult r =
         optimizeDecomposition(model.serialize(), defaultWorld(), opts);
     std::printf("status     %s\n",
-                r.cancelled ? "cancelled (resume with --resume)"
+                r.cancelled ? (r.status.toString()
+                               + " (resume with --resume)").c_str()
                             : "completed");
     std::printf("explored   %zu candidates (%d degraded)\n",
                 r.explored.size(), r.numFailed);
@@ -375,6 +390,18 @@ cmdDse(const Flags &flags)
     std::printf("best       %s\n", r.best.config.describe().c_str());
     std::printf("           acc %.3f  edp %.4g  reduction %.2f%%\n",
                 r.best.accuracy, r.best.edp, r.best.reduction * 100.0);
+    return exitCodeForStatus(r.status);
+}
+
+/** Markdown table of every compiled-in fault-injection site. */
+int
+cmdFaults()
+{
+    std::printf("| site | kinds | fires in |\n");
+    std::printf("| --- | --- | --- |\n");
+    for (const FaultSiteInfo &info : registeredFaultSites())
+        std::printf("| `%s` | %s | %s |\n", info.site, info.kinds,
+                    info.description);
     return 0;
 }
 
@@ -392,6 +419,7 @@ usage()
         "  stats [reduction-percent]     (default 50)\n"
         "  train [--steps=N] [--ckpt=FILE] [--every=N] [--resume]\n"
         "  dse   [--tasks=N] [--ckpt=FILE] [--every=N] [--resume]\n"
+        "  faults                        fault-injection site table\n"
         "environment:\n"
         "  LRD_THREADS=<n>     thread-pool size (default: all cores)\n"
         "  LRD_LOG=<level>[+ts]  debug|info|warn|error; +ts adds\n"
@@ -406,7 +434,16 @@ usage()
         "  LRD_FAULT=<spec>    inject faults: <site>:<kind>[:<nth>],...\n"
         "                      kinds: nan nonconv truncate bitflip\n"
         "                      alloc cancel\n"
-        "  LRD_SANITIZE        build-time option (see CMakeLists.txt)\n");
+        "  LRD_DEADLINE=<spec> stop early: steps:<n> | items:<n>\n"
+        "                      (deterministic work budgets) or\n"
+        "                      wall:<secs> (wall clock)\n"
+        "  LRD_WATCHDOG=<secs> report stalled pipelines after <secs>\n"
+        "                      without progress (report-only)\n"
+        "  LRD_SANITIZE        build-time option (see CMakeLists.txt)\n"
+        "exit codes:\n"
+        "  0 ok  1 error  2 degraded past failure budget  3 cancelled\n"
+        "  4 deadline exceeded  5 corrupt checkpoint  6 non-convergence\n"
+        "  (a second SIGINT/SIGTERM force-exits with 128+signo)\n");
 }
 
 } // namespace
@@ -422,6 +459,8 @@ main(int argc, char **argv)
     try {
         initObservabilityFromEnv();
         initFaultsFromEnv();
+        initCancelFromEnv();
+        installSignalHandlers();
         // With tracing on, spawn the pool up front so every worker
         // emits its lane marker even for purely analytic commands.
         if (Tracer::enabled())
@@ -448,13 +487,24 @@ main(int argc, char **argv)
             ret = cmdTrain(Flags::parse(argc, argv, 2));
         else if (cmd == "dse")
             ret = cmdDse(Flags::parse(argc, argv, 2));
+        else if (cmd == "faults")
+            ret = cmdFaults();
         if (ret >= 0) {
             flushObservability();
+            stopWatchdog();
             return ret;
         }
+    } catch (const StatusError &e) {
+        // Structured failures (failure budget, corrupt checkpoints)
+        // map to their documented exit codes.
+        std::fprintf(stderr, "%s\n", e.what());
+        flushObservability();
+        stopWatchdog();
+        return exitCodeForStatus(e.status());
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
         flushObservability();
+        stopWatchdog();
         return 1;
     }
     usage();
