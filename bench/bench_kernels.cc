@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <thread>
 
 #include "decomp/tucker.h"
@@ -16,6 +17,7 @@
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "tensor/ops.h"
+#include "tensor/simd/simd.h"
 #include "train/model_zoo.h"
 #include "train/trainer.h"
 
@@ -134,6 +136,130 @@ threadSweepArgs(benchmark::internal::Benchmark *b)
         b->Arg(hw);
 }
 BENCHMARK(BM_GemmThreads)->Apply(threadSweepArgs);
+
+/** Same 256^3 GEMM pinned to each microkernel level this host can
+ *  run (arg = simd::Level). items/s / 1e9 = G MACs/s; the ratio
+ *  against the scalar row is the measured SIMD speedup. */
+void
+BM_GemmSimdLevel(benchmark::State &state)
+{
+    const auto level = static_cast<simd::Level>(state.range(0));
+    const simd::Level restore = simd::activeLevel();
+    simd::setActiveLevel(level);
+    state.SetLabel(simd::levelName(level));
+    const int64_t n = 256;
+    Rng rng(14);
+    Tensor a = Tensor::randn({n, n}, rng);
+    Tensor b = Tensor::randn({n, n}, rng);
+    for (auto _ : state) {
+        Tensor c = matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+    simd::setActiveLevel(restore);
+}
+void
+simdLevelArgs(benchmark::internal::Benchmark *b)
+{
+    for (simd::Level level : simd::availableLevels())
+        b->Arg(static_cast<int64_t>(level));
+}
+BENCHMARK(BM_GemmSimdLevel)->Apply(simdLevelArgs);
+
+// ---------------------------------------------------------------------
+// Dense vs factorized crossover sweep (paper Section 5): at hidden
+// size h, a dense forward costs m*h^2 MACs while the factorized chain
+// costs m*(2*h*r + r^2); the roofline predicts factorized wins below
+// r* = h*(sqrt(2)-1) ~ 0.414*h. BM_CrossoverDense/h is the dense
+// baseline; BM_CrossoverFactorized/{h, r} sweeps ranks around the
+// predicted crossover. Comparing real_time at equal h locates the
+// measured crossover rank (items/s is per-variant G MACs/s, so it is
+// NOT the comparison metric). Batch m = 256 rows keeps the fused
+// serving path engaged.
+// ---------------------------------------------------------------------
+
+constexpr int64_t kCrossoverRows = 256;
+
+/** Rank-r factor shapes filled with random values, skipping the SVD
+ *  (timing is shape-dependent, not value-dependent). */
+Linear
+makeFactorizedLinear(int64_t h, int64_t r, Rng &rng)
+{
+    Linear l(h, h, /*hasBias=*/false, "bench.crossover", rng);
+    l.installFactorShape(r);
+    for (Parameter *p : l.parameters())
+        p->value = Tensor::randn(p->value.shape(), rng);
+    return l;
+}
+
+void
+BM_CrossoverDense(benchmark::State &state)
+{
+    const auto h = static_cast<int64_t>(state.range(0));
+    Rng rng(15);
+    Linear l(h, h, /*hasBias=*/false, "bench.crossover", rng);
+    Tensor x = Tensor::randn({kCrossoverRows, h}, rng);
+    for (auto _ : state) {
+        Tensor y = l.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kCrossoverRows * h * h);
+}
+BENCHMARK(BM_CrossoverDense)->Arg(256)->Arg(512);
+
+void
+BM_CrossoverFactorized(benchmark::State &state)
+{
+    const auto h = static_cast<int64_t>(state.range(0));
+    const auto r = static_cast<int64_t>(state.range(1));
+    Rng rng(16);
+    Linear l = makeFactorizedLinear(h, r, rng);
+    Tensor x = Tensor::randn({kCrossoverRows, h}, rng);
+    for (auto _ : state) {
+        Tensor y = l.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kCrossoverRows *
+                            (2 * h * r + r * r));
+}
+void
+crossoverArgs(benchmark::internal::Benchmark *b)
+{
+    for (int64_t h : {int64_t{256}, int64_t{512}}) {
+        for (double frac :
+             {0.0625, 0.125, 0.25, 0.375, 0.414, 0.5, 0.625, 0.75, 1.0})
+            b->Args({h, std::llround(static_cast<double>(h) * frac)});
+    }
+}
+BENCHMARK(BM_CrossoverFactorized)->Apply(crossoverArgs);
+
+/** The factorized crossover forward with the fused path disabled:
+ *  the delta against BM_CrossoverFactorized is the win from fusing
+ *  the three-GEMM chain against pre-packed weights. */
+void
+BM_CrossoverFactorizedUnfused(benchmark::State &state)
+{
+    const auto h = static_cast<int64_t>(state.range(0));
+    const auto r = static_cast<int64_t>(state.range(1));
+    Rng rng(16);
+    Linear l = makeFactorizedLinear(h, r, rng);
+    Tensor x = Tensor::randn({kCrossoverRows, h}, rng);
+    Linear::setFusedForwardEnabled(false);
+    for (auto _ : state) {
+        Tensor y = l.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    Linear::setFusedForwardEnabled(true);
+    state.SetItemsProcessed(state.iterations() * kCrossoverRows *
+                            (2 * h * r + r * r));
+}
+void
+crossoverUnfusedArgs(benchmark::internal::Benchmark *b)
+{
+    b->Args({256, 106});
+    b->Args({512, 212});
+}
+BENCHMARK(BM_CrossoverFactorizedUnfused)->Apply(crossoverUnfusedArgs);
 
 void
 BM_Svd(benchmark::State &state)
@@ -261,4 +387,24 @@ BENCHMARK(BM_TrainerStep);
 } // namespace
 } // namespace lrd
 
-BENCHMARK_MAIN();
+#ifndef LRD_CMAKE_BUILD_TYPE
+#define LRD_CMAKE_BUILD_TYPE "unknown"
+#endif
+
+int
+main(int argc, char **argv)
+{
+    // Tag the JSON context with the dispatch choice and the build
+    // type of THIS library (google-benchmark's own
+    // "library_build_type" describes the preinstalled libbenchmark,
+    // not our kernels).
+    benchmark::AddCustomContext(
+        "lrd_simd", lrd::simd::levelName(lrd::simd::activeLevel()));
+    benchmark::AddCustomContext("lrd_build_type", LRD_CMAKE_BUILD_TYPE);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

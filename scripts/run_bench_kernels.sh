@@ -2,6 +2,11 @@
 # Run the kernel microbenchmarks and record the results as
 # BENCH_kernels.json at the repo root (google-benchmark JSON format).
 #
+# Refuses to record from a non-Release build of this repository
+# (debug kernels make every number meaningless); set
+# LRD_BENCH_ALLOW_DEBUG=1 to override, which also tags the JSON via
+# the lrd_build_type context field.
+#
 # Usage: scripts/run_bench_kernels.sh [build-dir] [benchmark-filter]
 set -euo pipefail
 
@@ -11,14 +16,39 @@ filter="${2:-}"
 
 if [[ ! -x "${build_dir}/bench/bench_kernels" ]]; then
     echo "building bench_kernels in ${build_dir}" >&2
-    cmake -B "${build_dir}" -S "${repo_root}"
+    cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
     cmake --build "${build_dir}" -j --target bench_kernels
 fi
 
+build_type=""
+if [[ -f "${build_dir}/CMakeCache.txt" ]]; then
+    build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+        "${build_dir}/CMakeCache.txt")"
+fi
+# An empty CMAKE_BUILD_TYPE defaults to Release (top-level
+# CMakeLists.txt), but the cache records the resolved value, so
+# treat empty as unknown rather than trusting it.
+if [[ "${build_type}" != "Release" ]]; then
+    if [[ "${LRD_BENCH_ALLOW_DEBUG:-0}" != "1" ]]; then
+        echo "error: ${build_dir} has CMAKE_BUILD_TYPE='${build_type}'," \
+            "not Release; benchmark numbers from unoptimized kernels" \
+            "are meaningless. Configure with -DCMAKE_BUILD_TYPE=Release" \
+            "or set LRD_BENCH_ALLOW_DEBUG=1 to record anyway." >&2
+        exit 1
+    fi
+    echo "warning: recording from a '${build_type}' build" \
+        "(LRD_BENCH_ALLOW_DEBUG=1); results are tagged via" \
+        "lrd_build_type in the JSON context" >&2
+fi
+
+# 3 repetitions, medians only: single 0.5s samples on a shared VM
+# swing by +-20% (CPU steal), which is enough to flip the
+# dense-vs-factorized crossover comparisons the JSON exists to record.
 args=(
     "--benchmark_out=${repo_root}/BENCH_kernels.json"
     "--benchmark_out_format=json"
-    "--benchmark_repetitions=1"
+    "--benchmark_repetitions=${LRD_BENCH_REPETITIONS:-3}"
+    "--benchmark_report_aggregates_only=true"
 )
 if [[ -n "${filter}" ]]; then
     args+=("--benchmark_filter=${filter}")

@@ -1,5 +1,7 @@
 #include "device.h"
 
+#include "tensor/simd/simd.h"
+
 namespace lrd {
 
 DeviceSpec
@@ -29,9 +31,32 @@ h100_80gb()
 DeviceSpec
 cpuCore()
 {
+    // Peak scales with the SIMD level the dispatcher selected: FP32
+    // FMA lanes per cycle (SSE-class scalar fallback 4, NEON 8 across
+    // two pipes, AVX2 16, AVX-512 32) at a nominal 2.5 GHz server
+    // clock. Keeps the roofline cross-checks honest when the suite is
+    // pinned with LRD_SIMD.
+    double macsPerCycle = 4.0;
+    const char *isa = "scalar";
+    switch (simd::activeLevel()) {
+    case simd::Level::Scalar:
+        break;
+    case simd::Level::Neon:
+        macsPerCycle = 8.0;
+        isa = "neon";
+        break;
+    case simd::Level::Avx2:
+        macsPerCycle = 16.0;
+        isa = "avx2";
+        break;
+    case simd::Level::Avx512:
+        macsPerCycle = 32.0;
+        isa = "avx512";
+        break;
+    }
     DeviceSpec d;
-    d.name = "CPU-core";
-    d.peakMacsPerSec = 8e9;       // one AVX2 core, FP32
+    d.name = std::string("CPU-core-") + isa;
+    d.peakMacsPerSec = macsPerCycle * 2.5e9; // one core, FP32
     d.memBandwidthBps = 20e9;
     d.powerWatts = 15.0;
     d.memCapacityBytes = 16e9;

@@ -33,7 +33,9 @@ DeviceSpec a100_80gb();
 DeviceSpec h100_80gb();
 
 /** A single server-class CPU core (for cross-checking against the
- *  repository's real CPU measurements). */
+ *  repository's real CPU measurements). ISA-aware: the name carries
+ *  the active SIMD dispatch level (e.g. "CPU-core-avx2") and
+ *  peakMacsPerSec scales with that level's FP32 FMA width. */
 DeviceSpec cpuCore();
 
 } // namespace lrd

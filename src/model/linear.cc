@@ -1,16 +1,49 @@
 #include "linear.h"
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "decomp/tucker.h"
+#include "model/train_mode.h"
 #include "obs/metrics.h"
 #include "robust/recovery.h"
 #include "tensor/ops.h"
+#include "tensor/simd/fused.h"
 #include "util/logging.h"
 
 namespace lrd {
 
 namespace {
+
+/** Fused-path switch; resolved once from LRD_FUSED, then test-settable. */
+std::atomic<bool> &
+fusedToggle()
+{
+    static std::atomic<bool> enabled = [] {
+        const char *env = std::getenv("LRD_FUSED");
+        return env == nullptr ||
+               (std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0);
+    }();
+    return enabled;
+}
+
+struct FusedCounters {
+    Counter *fusedForwards;
+    Counter *weightPacks;
+};
+
+FusedCounters &
+fusedCounters()
+{
+    static FusedCounters c = [] {
+        MetricsRegistry &reg = MetricsRegistry::instance();
+        return FusedCounters{reg.counter("model.linear.fusedForwards"),
+                             reg.counter("model.linear.weightPacks")};
+    }();
+    return c;
+}
 
 /**
  * Resolve a failed decomposition per the recovery policy: bounded
@@ -78,6 +111,24 @@ Linear::forward(const Tensor &x)
                       + n * outDim_ * prunedRank_);
     }
     cachedX_ = x;
+    // Inference-only fused path: chain the three factor GEMMs through
+    // register-blocked row panels against pre-packed weights, never
+    // materializing the (n, pr) intermediates. Skinny batches (m <
+    // one microkernel tile of rows) stay on the unfused path, whose
+    // lane-dot fallback wastes no work on padded tiles.
+    if (factorized_ && !trainingModeActive() && fusedForwardEnabled() &&
+        x.dim(0) >= simd::kMr) {
+        ensurePackedFactors();
+        cachedT1_ = Tensor();
+        cachedT2_ = Tensor();
+        Tensor y({x.dim(0), outDim_});
+        simd::fusedFactorizedForward(
+            x.data(), x.dim(0), inDim_, prunedRank_, outDim_, packedU2t_,
+            packedCoret_, packedU1t_,
+            hasBias_ ? b_.value.data() : nullptr, y.data());
+        fusedCounters().fusedForwards->inc();
+        return y;
+    }
     Tensor y;
     if (!factorized_) {
         y = matmulTransB(x, w_.value);
@@ -118,6 +169,16 @@ Linear::backward(const Tensor &dy)
         return matmul(dy, w_.value);
     }
 
+    // The upcoming optimizer step will mutate the factors, so the
+    // packed panels are stale after this call.
+    invalidatePackedWeights();
+
+    // A fused forward skipped the intermediates; rebuild them.
+    if (cachedT1_.rank() != 2 || cachedT1_.dim(0) != dy.dim(0)) {
+        cachedT1_ = matmulTransB(cachedX_, u2_.value);
+        cachedT2_ = matmulTransB(cachedT1_, core_.value);
+    }
+
     // y = ((x U2^T) core^T) U1^T.
     Tensor dT2 = matmul(dy, u1_.value); // (n, pr)
     gemmTransA(dy.data(), cachedT2_.data(), u1_.grad.data(), dy.dim(0),
@@ -145,6 +206,7 @@ Linear::factorize(int64_t prunedRank)
     u2_ = Parameter(base + ".u2", std::move(d.u2));
     w_ = Parameter(base, Tensor({0}));
     factorized_ = true;
+    invalidatePackedWeights();
     return Status();
 }
 
@@ -184,6 +246,7 @@ Linear::factorizeActivationAware(int64_t prunedRank,
     u2_ = Parameter(base + ".u2", std::move(d.u2));
     w_ = Parameter(base, Tensor({0}));
     factorized_ = true;
+    invalidatePackedWeights();
     return Status();
 }
 
@@ -201,6 +264,7 @@ Linear::installFactorShape(int64_t prunedRank)
     u2_ = Parameter(base + ".u2", Tensor({prunedRank, inDim_}));
     w_ = Parameter(base, Tensor({0}));
     factorized_ = true;
+    invalidatePackedWeights();
 }
 
 void
@@ -218,6 +282,7 @@ Linear::densify()
     u2_ = Parameter();
     factorized_ = false;
     prunedRank_ = 0;
+    invalidatePackedWeights();
 }
 
 int64_t
@@ -275,6 +340,86 @@ Linear::clearCache()
     cachedX_ = Tensor();
     cachedT1_ = Tensor();
     cachedT2_ = Tensor();
+}
+
+void
+Linear::invalidatePackedWeights()
+{
+    packedU2t_ = simd::PackedMat();
+    packedCoret_ = simd::PackedMat();
+    packedU1t_ = simd::PackedMat();
+    packedDirty_ = true;
+}
+
+uint64_t
+Linear::factorFingerprint() const
+{
+    // FNV-1a over the float bit patterns of all three factors,
+    // interleaved across 8 independent lanes so the hash is not one
+    // serially-dependent multiply chain (that costs ~4 cycles per
+    // element and showed up as ~25% of a fused h=512 forward). Every
+    // element still feeds exactly one lane and the lanes are folded
+    // with the same mix at the end, so a single flipped bit anywhere
+    // still changes the result. One streaming pass over 2*h*r + r^2
+    // words — cheaper than repacking and, with the lane ILP,
+    // negligible next to the m * (2*h*r + r^2) MACs it guards.
+    constexpr uint64_t kPrime = 1099511628211ULL;
+    uint64_t lanes[8];
+    for (uint64_t i = 0; i < 8; ++i)
+        lanes[i] = 1469598103934665603ULL ^ ((i + 1) * kPrime);
+    size_t next = 0;
+    const auto mix = [&lanes, &next](const Tensor &t) {
+        const float *d = t.data();
+        const int64_t n = t.size();
+        for (int64_t i = 0; i < n; ++i) {
+            uint32_t bits;
+            std::memcpy(&bits, &d[i], sizeof(bits));
+            uint64_t &lane = lanes[next++ & 7];
+            lane = (lane ^ bits) * kPrime;
+        }
+    };
+    mix(u2_.value);
+    mix(core_.value);
+    mix(u1_.value);
+    uint64_t h = 1469598103934665603ULL;
+    for (uint64_t lane : lanes)
+        h = (h ^ lane) * kPrime;
+    return h;
+}
+
+void
+Linear::ensurePackedFactors()
+{
+    // Catch external factor writes (via parameters()) that bypass
+    // invalidatePackedWeights(): a fingerprint mismatch forces a
+    // repack, so fused results can never be computed against stale
+    // panels.
+    const uint64_t fingerprint = factorFingerprint();
+    if (!packedDirty_ && fingerprint == packedFingerprint_)
+        return;
+    // packMatrixB(M, k, n, trans=true) packs M^T without
+    // materializing it; the fused chain is y = ((x U2^T) core^T) U1^T.
+    packedU2t_ = simd::packMatrixB(u2_.value.data(), inDim_, prunedRank_,
+                                   /*trans=*/true);
+    packedCoret_ = simd::packMatrixB(core_.value.data(), prunedRank_,
+                                     prunedRank_, /*trans=*/true);
+    packedU1t_ = simd::packMatrixB(u1_.value.data(), prunedRank_, outDim_,
+                                   /*trans=*/true);
+    packedDirty_ = false;
+    packedFingerprint_ = fingerprint;
+    fusedCounters().weightPacks->inc();
+}
+
+bool
+Linear::fusedForwardEnabled()
+{
+    return fusedToggle().load(std::memory_order_relaxed);
+}
+
+void
+Linear::setFusedForwardEnabled(bool enabled)
+{
+    fusedToggle().store(enabled, std::memory_order_relaxed);
 }
 
 } // namespace lrd

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "model/parameter.h"
+#include "tensor/simd/pack.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -108,6 +109,27 @@ class Linear
     /** Reset the cached forward input (frees activation memory). */
     void clearCache();
 
+    /**
+     * Drop the pack-once factor panels used by the fused inference
+     * path; they are rebuilt lazily on the next fused forward. Called
+     * automatically by backward() and every factor-mutating method.
+     * Direct factor writes (via parameters()) are also caught without
+     * this call: each fused forward fingerprints the factor values
+     * and repacks on mismatch, so stale panels can never be used.
+     */
+    void invalidatePackedWeights();
+
+    /**
+     * Process-wide switch for the fused factorized forward (chains
+     * U2/core/U1 through register-blocked row panels against
+     * pre-packed weights instead of materializing intermediates).
+     * Defaults to on unless LRD_FUSED is 0/off; training-mode
+     * forwards and skinny batches (rows < microkernel tile height)
+     * always take the unfused path regardless.
+     */
+    static bool fusedForwardEnabled();
+    static void setFusedForwardEnabled(bool enabled);
+
   private:
     int64_t outDim_;
     int64_t inDim_;
@@ -124,10 +146,27 @@ class Linear
     Parameter u2_;   ///< (pr, in).
     Parameter b_;    ///< (out), optional.
 
-    // Forward caches for backward.
+    // Forward caches for backward. The fused inference path leaves
+    // cachedT1_/cachedT2_ empty; backward() recomputes them from
+    // cachedX_ when a training step follows a fused forward.
     Tensor cachedX_;
     Tensor cachedT1_; ///< x * U2^T.
     Tensor cachedT2_; ///< t1 * core^T.
+
+    /** Rebuild packedU*_ if dirty or the factors changed under us. */
+    void ensurePackedFactors();
+    /** FNV-1a over the factor values' bit patterns. */
+    uint64_t factorFingerprint() const;
+
+    // Pack-once weight panels for the fused serving path: U2^T,
+    // core^T and U1^T in microkernel layout, rebuilt lazily after any
+    // factor mutation (tracked by the dirty flag plus a value
+    // fingerprint for writes that bypass this class).
+    simd::PackedMat packedU2t_;
+    simd::PackedMat packedCoret_;
+    simd::PackedMat packedU1t_;
+    uint64_t packedFingerprint_ = 0;
+    bool packedDirty_ = true;
 };
 
 } // namespace lrd

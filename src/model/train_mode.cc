@@ -1,0 +1,29 @@
+#include "model/train_mode.h"
+
+#include <atomic>
+
+namespace lrd {
+
+namespace {
+/** Depth of nested TrainingModeScope instances, across all threads:
+ *  data-parallel replicas train concurrently under one logical step. */
+std::atomic<int> gTrainingDepth{0};
+} // namespace
+
+bool
+trainingModeActive()
+{
+    return gTrainingDepth.load(std::memory_order_acquire) > 0;
+}
+
+TrainingModeScope::TrainingModeScope()
+{
+    gTrainingDepth.fetch_add(1, std::memory_order_acq_rel);
+}
+
+TrainingModeScope::~TrainingModeScope()
+{
+    gTrainingDepth.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+} // namespace lrd

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Process-wide training-mode flag.
+ *
+ * Layers that specialize their forward pass for inference (e.g. the
+ * fused factorized path in linear.cc, which skips materializing the
+ * intermediates backward() needs) consult trainingModeActive() to
+ * decide whether a backward pass may follow. Training entry points
+ * (TransformerModel::lossAndGrad) hold a TrainingModeScope for the
+ * duration of the forward+backward pair.
+ */
+
+#ifndef LRD_MODEL_TRAIN_MODE_H
+#define LRD_MODEL_TRAIN_MODE_H
+
+namespace lrd {
+
+/** True while at least one TrainingModeScope is alive. */
+bool trainingModeActive();
+
+/** RAII marker for a forward pass that will be followed by backward().
+ *  Nestable; the flag clears when the outermost scope exits. */
+class TrainingModeScope
+{
+  public:
+    TrainingModeScope();
+    ~TrainingModeScope();
+    TrainingModeScope(const TrainingModeScope &) = delete;
+    TrainingModeScope &operator=(const TrainingModeScope &) = delete;
+};
+
+} // namespace lrd
+
+#endif // LRD_MODEL_TRAIN_MODE_H

@@ -4,6 +4,7 @@
 #include <limits>
 #include <tuple>
 
+#include "model/train_mode.h"
 #include "robust/fault.h"
 #include "robust/recovery.h"
 #include "robust/signal.h"
@@ -232,6 +233,10 @@ double
 TransformerModel::lossAndGrad(const TokenSeq &tokens,
                               const std::vector<int> &targets)
 {
+    // Keep inference-only forward specializations (the fused
+    // factorized path) disabled: backward() needs the cached
+    // intermediates the fused path skips.
+    TrainingModeScope trainScope;
     Tensor logits = forward(tokens);
     Tensor dLogits;
     const double loss = crossEntropy(logits, targets, &dLogits);

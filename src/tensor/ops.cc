@@ -8,19 +8,31 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "tensor/simd/pack.h"
+#include "tensor/simd/simd.h"
 #include "util/logging.h"
 
 namespace lrd {
 
 namespace {
 
-/** Cached handles for the GEMM counters (one registry lookup ever). */
+/** Cached handles for the GEMM counters (one registry lookup ever).
+ *  callsPerLevel attributes calls to the dispatched ISA so `lrdtool
+ *  stats` can break kernel time down by level. */
 struct GemmCounters
 {
     Counter *calls;
     Counter *macs;
     Counter *packedBytesA;
     Counter *packedBytesB;
+    Counter *callsPerLevel[4];
+
+    void noteCall(int64_t macCount)
+    {
+        calls->inc();
+        macs->add(macCount);
+        callsPerLevel[static_cast<int>(simd::activeLevel())]->inc();
+    }
 };
 
 GemmCounters &
@@ -28,10 +40,17 @@ gemmCounters()
 {
     static GemmCounters gc = [] {
         MetricsRegistry &reg = MetricsRegistry::instance();
-        return GemmCounters{reg.counter("gemm.calls"),
-                            reg.counter("gemm.macs"),
-                            reg.counter("gemm.packedBytesA"),
-                            reg.counter("gemm.packedBytesB")};
+        GemmCounters c{reg.counter("gemm.calls"),
+                       reg.counter("gemm.macs"),
+                       reg.counter("gemm.packedBytesA"),
+                       reg.counter("gemm.packedBytesB"),
+                       {}};
+        for (simd::Level l :
+             {simd::Level::Scalar, simd::Level::Neon, simd::Level::Avx2,
+              simd::Level::Avx512})
+            c.callsPerLevel[static_cast<int>(l)] = reg.counter(
+                strCat("gemm.calls.", simd::levelName(l)));
+        return c;
     }();
     return gc;
 }
@@ -58,100 +77,38 @@ checkMatrix(const Tensor &a, const char *what)
  * The driver follows the classic GotoBLAS/BLIS loop structure: the k
  * dimension is split into KC-deep slabs whose B panel is packed once
  * (by the posting thread), then row panels of A are packed and
- * multiplied by an MR x NR register-tile micro-kernel written so the
- * compiler keeps the accumulator tile in vector registers (24 zmm /
- * 96 xmm worth of accumulators plus the B row).
+ * multiplied by an MR x NR register-tile micro-kernel. Packing and
+ * tile geometry live in tensor/simd/pack.h; the inner kernel is the
+ * runtime-dispatched entry from tensor/simd/simd.h (scalar always
+ * available, AVX2/AVX-512/NEON when the CPU supports them, pinnable
+ * with LRD_SIMD).
  *
  * Determinism: every C element is produced by exactly one fixed row
  * chunk, k slabs are visited in a fixed serial order, and the chunk
- * partitioning depends only on the shape — so results are bitwise
- * identical at any thread count. There is deliberately NO zero-skip
- * (the old kernels dropped `0 * NaN` contributions); padded pack
- * lanes only ever feed accumulator entries that are discarded.
+ * partitioning depends only on the shape — so for a fixed LRD_SIMD
+ * level results are bitwise identical at any thread count. There is
+ * deliberately NO zero-skip (the old kernels dropped `0 * NaN`
+ * contributions); padded pack lanes only ever feed accumulator
+ * entries that are discarded.
  */
 
-// Register tile and cache-block sizes (floats). MR*NR accumulators
-// must fit the vector register file: 8 x 48 = 24 AVX-512 registers.
-constexpr int64_t kMr = 8;
-constexpr int64_t kNr = 48;
-constexpr int64_t kKc = 384;  ///< k-slab depth (A panel stays in L2).
-constexpr int64_t kNc = 1920; ///< n-slab width (B pack stays in LLC).
-/** Rows per parallel chunk: 4 MR panels keeps ~8 chunks at m = 256. */
-constexpr int64_t kRowChunk = 4 * kMr;
-
-/** Pack an mc x kc block of A into k-major MR panels, zero-padded. */
-template <class AccessA>
-void
-packAPanels(const AccessA &a, int64_t i0, int64_t p0, int64_t mc,
-            int64_t kc, float *dst)
-{
-    for (int64_t ir = 0; ir < mc; ir += kMr) {
-        const int64_t mr = std::min(kMr, mc - ir);
-        for (int64_t p = 0; p < kc; ++p) {
-            for (int64_t i = 0; i < mr; ++i)
-                dst[p * kMr + i] = a(i0 + ir + i, p0 + p);
-            for (int64_t i = mr; i < kMr; ++i)
-                dst[p * kMr + i] = 0.0F;
-        }
-        dst += kMr * kc;
-    }
-}
-
-/** Pack a kc x nc block of B into p-major NR panels, zero-padded. */
-template <class AccessB>
-void
-packBPanels(const AccessB &b, int64_t p0, int64_t j0, int64_t kc,
-            int64_t nc, float *dst)
-{
-    for (int64_t jr = 0; jr < nc; jr += kNr) {
-        const int64_t nr = std::min(kNr, nc - jr);
-        for (int64_t p = 0; p < kc; ++p) {
-            for (int64_t j = 0; j < nr; ++j)
-                dst[p * kNr + j] = b(p0 + p, j0 + jr + j);
-            for (int64_t j = nr; j < kNr; ++j)
-                dst[p * kNr + j] = 0.0F;
-        }
-        dst += kNr * kc;
-    }
-}
+using simd::kKc;
+using simd::kMr;
+using simd::kNc;
+using simd::kNr;
+using simd::kRowChunk;
 
 /**
- * C tile (mr x nr, mr <= MR, nr <= NR) = packed A panel x packed B
- * panel, accumulated over kc. `addInto` selects C += acc vs C = acc.
+ * Blocked driver over raw storage: logical A is m x k with A(i, p) =
+ * a[p * lda + i] when transA (else a[i * lda + p]), logical B is
+ * k x n with B(p, j) = b[j * ldb + p] when transB (else b[p*ldb+j]).
  */
 void
-microKernel(const float *ap, const float *bp, int64_t kc, float *c,
-            int64_t ldc, int64_t mr, int64_t nr, bool addInto)
+blockedGemm(const float *a, int64_t lda, bool transA, const float *b,
+            int64_t ldb, bool transB, float *c, int64_t m, int64_t k,
+            int64_t n, bool accumulate)
 {
-    float acc[kMr][kNr];
-    for (int64_t i = 0; i < kMr; ++i)
-        for (int64_t j = 0; j < kNr; ++j)
-            acc[i][j] = 0.0F;
-    for (int64_t p = 0; p < kc; ++p) {
-        const float *arow = ap + p * kMr;
-        const float *brow = bp + p * kNr;
-        for (int64_t i = 0; i < kMr; ++i) {
-            const float av = arow[i];
-            for (int64_t j = 0; j < kNr; ++j)
-                acc[i][j] += av * brow[j];
-        }
-    }
-    if (addInto) {
-        for (int64_t i = 0; i < mr; ++i)
-            for (int64_t j = 0; j < nr; ++j)
-                c[i * ldc + j] += acc[i][j];
-    } else {
-        for (int64_t i = 0; i < mr; ++i)
-            for (int64_t j = 0; j < nr; ++j)
-                c[i * ldc + j] = acc[i][j];
-    }
-}
-
-template <class AccessA, class AccessB>
-void
-blockedGemm(const AccessA &a, const AccessB &b, float *c, int64_t m,
-            int64_t k, int64_t n, bool accumulate)
-{
+    const simd::MicroKernelFn kernel = simd::activeKernels().microKernel;
     const int64_t ncPadMax =
         std::min((n + kNr - 1) / kNr * kNr, kNc);
     std::vector<float> bpack(static_cast<size_t>(kKc * ncPadMax));
@@ -162,7 +119,7 @@ blockedGemm(const AccessA &a, const AccessB &b, float *c, int64_t m,
         for (int64_t pc = 0; pc < k; pc += kKc) {
             const int64_t kc = std::min(kKc, k - pc);
             // B pack is shared read-only by all row chunks.
-            packBPanels(b, pc, jc, kc, nc, bpack.data());
+            simd::packBPanels(b, ldb, transB, pc, jc, kc, nc, bpack.data());
             gemmCounters().packedBytesB->add(
                 (nc + kNr - 1) / kNr * kNr * kc
                 * static_cast<int64_t>(sizeof(float)));
@@ -174,7 +131,8 @@ blockedGemm(const AccessA &a, const AccessB &b, float *c, int64_t m,
                 for (int64_t rc = c0; rc < c1; ++rc) {
                     const int64_t ic = rc * kRowChunk;
                     const int64_t mc = std::min(kRowChunk, m - ic);
-                    packAPanels(a, ic, pc, mc, kc, apack.data());
+                    simd::packAPanels(a, lda, transA, ic, pc, mc, kc,
+                                      apack.data());
                     gemmCounters().packedBytesA->add(
                         (mc + kMr - 1) / kMr * kMr * kc
                         * static_cast<int64_t>(sizeof(float)));
@@ -185,10 +143,10 @@ blockedGemm(const AccessA &a, const AccessB &b, float *c, int64_t m,
                         for (int64_t ir = 0; ir < mc; ir += kMr) {
                             const float *ap =
                                 apack.data() + (ir / kMr) * kMr * kc;
-                            microKernel(ap, bp, kc,
-                                        c + (ic + ir) * n + jc + jr, n,
-                                        std::min(kMr, mc - ir), nr,
-                                        addInto);
+                            kernel(ap, bp, kc,
+                                   c + (ic + ir) * n + jc + jr, n,
+                                   std::min(kMr, mc - ir), nr,
+                                   addInto);
                         }
                     }
                 }
@@ -287,13 +245,9 @@ gemm(const float *a, const float *b, float *c, int64_t m, int64_t k,
      int64_t n, bool accumulate)
 {
     LRD_TRACE_SPAN("gemm");
-    GemmCounters &gc = gemmCounters();
-    gc.calls->inc();
-    gc.macs->add(m * k * n);
+    gemmCounters().noteCall(m * k * n);
     if (useBlockedGemm(m, k, n)) {
-        blockedGemm([a, k](int64_t i, int64_t p) { return a[i * k + p]; },
-                    [b, n](int64_t p, int64_t j) { return b[p * n + j]; },
-                    c, m, k, n, accumulate);
+        blockedGemm(a, k, false, b, n, false, c, m, k, n, accumulate);
         return;
     }
     // Skinny fallback: i-k-j loop order (unit-stride b and c rows),
@@ -321,13 +275,9 @@ gemmTransB(const float *a, const float *b, float *c, int64_t m, int64_t k,
            int64_t n, bool accumulate)
 {
     LRD_TRACE_SPAN("gemmTransB");
-    GemmCounters &gc = gemmCounters();
-    gc.calls->inc();
-    gc.macs->add(m * k * n);
+    gemmCounters().noteCall(m * k * n);
     if (useBlockedGemm(m, k, n)) {
-        blockedGemm([a, k](int64_t i, int64_t p) { return a[i * k + p]; },
-                    [b, k](int64_t p, int64_t j) { return b[j * k + p]; },
-                    c, m, k, n, accumulate);
+        blockedGemm(a, k, false, b, k, true, c, m, k, n, accumulate);
         return;
     }
     // Skinny fallback: lane-accumulator dot products over the
@@ -349,14 +299,11 @@ gemmTransA(const float *a, const float *b, float *c, int64_t m, int64_t k,
            int64_t n, bool accumulate)
 {
     LRD_TRACE_SPAN("gemmTransA");
-    GemmCounters &gc = gemmCounters();
-    gc.calls->inc();
-    gc.macs->add(m * k * n);
-    // c (k x n) = sum_i a[i][:]^T outer b[i][:].
+    gemmCounters().noteCall(m * k * n);
+    // c (k x n) = sum_i a[i][:]^T outer b[i][:]: logical A is the
+    // k x m transposed view of the stored (m x k) a.
     if (useBlockedGemm(k, m, n)) {
-        blockedGemm([a, k](int64_t i, int64_t p) { return a[p * k + i]; },
-                    [b, n](int64_t p, int64_t j) { return b[p * n + j]; },
-                    c, k, m, n, accumulate);
+        blockedGemm(a, k, true, b, n, false, c, k, m, n, accumulate);
         return;
     }
     // Skinny fallback: parallel over the rows of c, so every output

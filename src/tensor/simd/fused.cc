@@ -1,0 +1,109 @@
+#include "tensor/simd/fused.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/trace.h"
+#include "parallel/thread_pool.h"
+#include "util/logging.h"
+
+namespace lrd::simd {
+
+namespace {
+
+/**
+ * Combined packed-factor footprint below which the per-panel chained
+ * mode wins: all three factor panels stay cache-resident while a row
+ * panel streams through them, so the t1/t2 intermediates never leave
+ * L1. Above it, re-streaming every factor once per row panel costs
+ * more than the intermediate locality buys, and the stage mode (one
+ * pass per factor over all rows, materializing the small m x pr
+ * intermediates) is faster. The mode depends only on weight shapes,
+ * never on thread count, preserving determinism.
+ */
+constexpr int64_t kPanelModeMaxWeightBytes = 512LL * 1024;
+
+/** One full-m pass c = a * packedB, parallel over row panels. */
+void
+stagePass(const float *a, int64_t lda, int64_t m, const PackedMat &b,
+          float *c, int64_t ldc)
+{
+    const int64_t rowPanels = (m + kRowChunk - 1) / kRowChunk;
+    parallelFor(0, rowPanels, 1, [&](int64_t lo, int64_t hi) {
+        thread_local std::vector<float> apack;
+        apack.resize(static_cast<size_t>(kRowChunk * kKc));
+        for (int64_t panel = lo; panel < hi; ++panel) {
+            const int64_t r0 = panel * kRowChunk;
+            const int64_t mc = std::min(kRowChunk, m - r0);
+            gemmPackedB(a + r0 * lda, lda, mc, b, c + r0 * ldc, ldc,
+                        apack.data());
+        }
+    });
+}
+
+void
+addBiasRows(float *y, int64_t m, int64_t out, const float *bias)
+{
+    for (int64_t i = 0; i < m; ++i) {
+        float *yrow = y + i * out;
+        for (int64_t j = 0; j < out; ++j)
+            yrow[j] += bias[j];
+    }
+}
+
+} // namespace
+
+void
+fusedFactorizedForward(const float *x, int64_t m, int64_t in, int64_t pr,
+                       int64_t out, const PackedMat &u2t,
+                       const PackedMat &coret, const PackedMat &u1t,
+                       const float *bias, float *y)
+{
+    LRD_TRACE_SPAN("fusedFactorizedForward");
+    require(u2t.k == in && u2t.n == pr && coret.k == pr && coret.n == pr &&
+                u1t.k == pr && u1t.n == out,
+            "fusedFactorizedForward: packed factor shapes do not chain");
+    const int64_t weightBytes =
+        static_cast<int64_t>(u2t.data.size() + coret.data.size() +
+                             u1t.data.size()) *
+        static_cast<int64_t>(sizeof(float));
+    if (weightBytes > kPanelModeMaxWeightBytes) {
+        // Stage mode: one pass per factor over all rows; the m x pr
+        // intermediates are materialized but each factor's panels are
+        // streamed through the cache hierarchy only once per pass.
+        std::vector<float> t1(static_cast<size_t>(m * pr));
+        std::vector<float> t2(static_cast<size_t>(m * pr));
+        stagePass(x, in, m, u2t, t1.data(), pr);
+        stagePass(t1.data(), pr, m, coret, t2.data(), pr);
+        stagePass(t2.data(), pr, m, u1t, y, out);
+        if (bias != nullptr)
+            addBiasRows(y, m, out, bias);
+        return;
+    }
+    // Panel mode: chain all three factors per row panel; t1/t2 cover
+    // only kRowChunk rows and stay resident next to the (small)
+    // packed factors.
+    const int64_t rowPanels = (m + kRowChunk - 1) / kRowChunk;
+    parallelFor(0, rowPanels, 1, [&](int64_t lo, int64_t hi) {
+        thread_local std::vector<float> apack;
+        thread_local std::vector<float> t1;
+        thread_local std::vector<float> t2;
+        apack.resize(static_cast<size_t>(kRowChunk * kKc));
+        t1.resize(static_cast<size_t>(kRowChunk * pr));
+        t2.resize(static_cast<size_t>(kRowChunk * pr));
+        for (int64_t panel = lo; panel < hi; ++panel) {
+            const int64_t r0 = panel * kRowChunk;
+            const int64_t mc = std::min(kRowChunk, m - r0);
+            gemmPackedB(x + r0 * in, in, mc, u2t, t1.data(), pr,
+                        apack.data());
+            gemmPackedB(t1.data(), pr, mc, coret, t2.data(), pr,
+                        apack.data());
+            gemmPackedB(t2.data(), pr, mc, u1t, y + r0 * out, out,
+                        apack.data());
+            if (bias != nullptr)
+                addBiasRows(y + r0 * out, mc, out, bias);
+        }
+    });
+}
+
+} // namespace lrd::simd

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fused factorized-linear forward: y = ((x U2^T) core^T) U1^T (+ b)
+ * chained through register-blocked row panels.
+ *
+ * The paper's decomposed fully-connected layer is three chained
+ * GEMMs. The unfused path materializes both (n x pr) intermediates in
+ * full; this driver instead walks x in kRowChunk-row panels and keeps
+ * each panel's t1/t2 intermediates in thread-local scratch that never
+ * leaves the cache, multiplying against factor weights that were
+ * packed ONCE into microkernel panel form (PackedMat). Serving-style
+ * repeated forwards therefore skip both the intermediate allocation
+ * and the per-call B pack.
+ *
+ * Determinism: each output row is produced by exactly one fixed row
+ * panel and every element accumulates over k in slab-ascending order,
+ * so results are bitwise identical at any LRD_THREADS for a fixed
+ * LRD_SIMD level — the same contract as the unfused kernels.
+ */
+
+#ifndef LRD_TENSOR_SIMD_FUSED_H
+#define LRD_TENSOR_SIMD_FUSED_H
+
+#include <cstdint>
+
+#include "tensor/simd/pack.h"
+
+namespace lrd::simd {
+
+/**
+ * y (m x out) = ((x (m x in) * u2t) * coret) * u1t + bias.
+ *
+ * @param u2t   U2^T packed as (in x pr):   packMatrixB(U2, in, pr, true).
+ * @param coret core^T packed as (pr x pr): packMatrixB(core, pr, pr, true).
+ * @param u1t   U1^T packed as (pr x out):  packMatrixB(U1, pr, out, true).
+ * @param bias  Optional (out) bias row, nullptr for none.
+ */
+void fusedFactorizedForward(const float *x, int64_t m, int64_t in,
+                            int64_t pr, int64_t out, const PackedMat &u2t,
+                            const PackedMat &coret, const PackedMat &u1t,
+                            const float *bias, float *y);
+
+} // namespace lrd::simd
+
+#endif // LRD_TENSOR_SIMD_FUSED_H

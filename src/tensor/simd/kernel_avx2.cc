@@ -1,0 +1,102 @@
+/**
+ * @file
+ * AVX2+FMA microkernel. The 8 x 48 packed tile is processed as six
+ * 4 x 16 register sub-tiles (8 ymm accumulators + 2 B lanes + 1
+ * broadcast = 11 of 16 ymm registers), each streaming the full kc
+ * depth so accumulators never leave the register file; the packed
+ * panels they re-read stay L1-resident (A panel 8*384*4 = 12 KiB,
+ * B sub-slice 16*384*4 = 24 KiB).
+ *
+ * This TU is compiled with -mavx2 -mfma on x86 builds only; on other
+ * architectures it degrades to a nullptr table entry.
+ */
+
+#include "tensor/simd/kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include "tensor/simd/pack.h"
+
+namespace lrd::simd {
+
+namespace {
+
+/** One 4 x 16 sub-tile at rows [ib, ib+4) x cols [jb, jb+16). */
+inline void
+subTile4x16(const float *ap, const float *bp, int64_t kc, float *c,
+            int64_t ldc, int64_t ib, int64_t jb, bool addInto)
+{
+    __m256 acc[4][2];
+    for (int r = 0; r < 4; ++r) {
+        acc[r][0] = _mm256_setzero_ps();
+        acc[r][1] = _mm256_setzero_ps();
+    }
+    for (int64_t p = 0; p < kc; ++p) {
+        const float *arow = ap + p * kMr + ib;
+        const float *brow = bp + p * kNr + jb;
+        const __m256 b0 = _mm256_loadu_ps(brow);
+        const __m256 b1 = _mm256_loadu_ps(brow + 8);
+        for (int r = 0; r < 4; ++r) {
+            const __m256 av = _mm256_set1_ps(arow[r]);
+            acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+            acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+        }
+    }
+    for (int r = 0; r < 4; ++r) {
+        float *crow = c + (ib + r) * ldc + jb;
+        if (addInto) {
+            acc[r][0] = _mm256_add_ps(acc[r][0], _mm256_loadu_ps(crow));
+            acc[r][1] = _mm256_add_ps(acc[r][1], _mm256_loadu_ps(crow + 8));
+        }
+        _mm256_storeu_ps(crow, acc[r][0]);
+        _mm256_storeu_ps(crow + 8, acc[r][1]);
+    }
+}
+
+void
+fullTile(const float *ap, const float *bp, int64_t kc, float *c, int64_t ldc,
+         bool addInto)
+{
+    for (int64_t ib = 0; ib < kMr; ib += 4)
+        for (int64_t jb = 0; jb < kNr; jb += 16)
+            subTile4x16(ap, bp, kc, c, ldc, ib, jb, addInto);
+}
+
+void
+microKernelAvx2(const float *ap, const float *bp, int64_t kc, float *c,
+                int64_t ldc, int64_t mr, int64_t nr, bool addInto)
+{
+    if (mr == kMr && nr == kNr) {
+        fullTile(ap, bp, kc, c, ldc, addInto);
+        return;
+    }
+    // Partial tile: compute the full padded tile into a scratch
+    // buffer, then merge only the live mr x nr region.
+    float buf[kMr * kNr];
+    fullTile(ap, bp, kc, buf, kNr, /*addInto=*/false);
+    if (addInto) {
+        for (int64_t i = 0; i < mr; ++i)
+            for (int64_t j = 0; j < nr; ++j)
+                c[i * ldc + j] += buf[i * kNr + j];
+    } else {
+        for (int64_t i = 0; i < mr; ++i)
+            for (int64_t j = 0; j < nr; ++j)
+                c[i * ldc + j] = buf[i * kNr + j];
+    }
+}
+
+} // namespace
+
+const MicroKernelFn kMicroKernelAvx2 = &microKernelAvx2;
+
+} // namespace lrd::simd
+
+#else // !(__AVX2__ && __FMA__)
+
+namespace lrd::simd {
+const MicroKernelFn kMicroKernelAvx2 = nullptr;
+} // namespace lrd::simd
+
+#endif

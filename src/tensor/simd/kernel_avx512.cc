@@ -1,0 +1,93 @@
+/**
+ * @file
+ * AVX-512F microkernel. The 8 x 48 packed tile maps exactly onto the
+ * 512-bit register file: 8 rows x 3 zmm columns = 24 accumulators,
+ * plus 3 B lanes and 1 broadcast, leaving headroom in the 32-register
+ * file for the compiler's address arithmetic. Each k step issues 3
+ * loads, 8 broadcasts and 24 FMAs, so the loop is FMA-bound on any
+ * two-port machine.
+ *
+ * This TU is compiled with -mavx512f on x86 builds only; elsewhere it
+ * degrades to a nullptr table entry.
+ */
+
+#include "tensor/simd/kernels.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include "tensor/simd/pack.h"
+
+namespace lrd::simd {
+
+namespace {
+
+void
+fullTile(const float *ap, const float *bp, int64_t kc, float *c, int64_t ldc,
+         bool addInto)
+{
+    __m512 acc[8][3];
+    for (int r = 0; r < 8; ++r)
+        for (int v = 0; v < 3; ++v)
+            acc[r][v] = _mm512_setzero_ps();
+    for (int64_t p = 0; p < kc; ++p) {
+        const float *arow = ap + p * kMr;
+        const float *brow = bp + p * kNr;
+        const __m512 b0 = _mm512_loadu_ps(brow);
+        const __m512 b1 = _mm512_loadu_ps(brow + 16);
+        const __m512 b2 = _mm512_loadu_ps(brow + 32);
+        for (int r = 0; r < 8; ++r) {
+            const __m512 av = _mm512_set1_ps(arow[r]);
+            acc[r][0] = _mm512_fmadd_ps(av, b0, acc[r][0]);
+            acc[r][1] = _mm512_fmadd_ps(av, b1, acc[r][1]);
+            acc[r][2] = _mm512_fmadd_ps(av, b2, acc[r][2]);
+        }
+    }
+    for (int r = 0; r < 8; ++r) {
+        float *crow = c + r * ldc;
+        if (addInto) {
+            acc[r][0] = _mm512_add_ps(acc[r][0], _mm512_loadu_ps(crow));
+            acc[r][1] = _mm512_add_ps(acc[r][1], _mm512_loadu_ps(crow + 16));
+            acc[r][2] = _mm512_add_ps(acc[r][2], _mm512_loadu_ps(crow + 32));
+        }
+        _mm512_storeu_ps(crow, acc[r][0]);
+        _mm512_storeu_ps(crow + 16, acc[r][1]);
+        _mm512_storeu_ps(crow + 32, acc[r][2]);
+    }
+}
+
+void
+microKernelAvx512(const float *ap, const float *bp, int64_t kc, float *c,
+                  int64_t ldc, int64_t mr, int64_t nr, bool addInto)
+{
+    if (mr == kMr && nr == kNr) {
+        fullTile(ap, bp, kc, c, ldc, addInto);
+        return;
+    }
+    float buf[kMr * kNr];
+    fullTile(ap, bp, kc, buf, kNr, /*addInto=*/false);
+    if (addInto) {
+        for (int64_t i = 0; i < mr; ++i)
+            for (int64_t j = 0; j < nr; ++j)
+                c[i * ldc + j] += buf[i * kNr + j];
+    } else {
+        for (int64_t i = 0; i < mr; ++i)
+            for (int64_t j = 0; j < nr; ++j)
+                c[i * ldc + j] = buf[i * kNr + j];
+    }
+}
+
+} // namespace
+
+const MicroKernelFn kMicroKernelAvx512 = &microKernelAvx512;
+
+} // namespace lrd::simd
+
+#else // !__AVX512F__
+
+namespace lrd::simd {
+const MicroKernelFn kMicroKernelAvx512 = nullptr;
+} // namespace lrd::simd
+
+#endif

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * AArch64 NEON microkernel. The 8 x 48 packed tile is processed as
+ * six 4 x 16 sub-tiles (16 q-register accumulators + 4 B lanes + 1
+ * broadcast = 21 of 32 registers), mirroring the AVX2 kernel's
+ * structure with 4-wide lanes.
+ *
+ * NEON is architecturally guaranteed on AArch64, so this TU needs no
+ * extra -m flags there; on non-ARM builds it degrades to a nullptr
+ * table entry.
+ */
+
+#include "tensor/simd/kernels.h"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include "tensor/simd/pack.h"
+
+namespace lrd::simd {
+
+namespace {
+
+/** One 4 x 16 sub-tile at rows [ib, ib+4) x cols [jb, jb+16). */
+inline void
+subTile4x16(const float *ap, const float *bp, int64_t kc, float *c,
+            int64_t ldc, int64_t ib, int64_t jb, bool addInto)
+{
+    float32x4_t acc[4][4];
+    for (int r = 0; r < 4; ++r)
+        for (int v = 0; v < 4; ++v)
+            acc[r][v] = vdupq_n_f32(0.0F);
+    for (int64_t p = 0; p < kc; ++p) {
+        const float *arow = ap + p * kMr + ib;
+        const float *brow = bp + p * kNr + jb;
+        const float32x4_t b0 = vld1q_f32(brow);
+        const float32x4_t b1 = vld1q_f32(brow + 4);
+        const float32x4_t b2 = vld1q_f32(brow + 8);
+        const float32x4_t b3 = vld1q_f32(brow + 12);
+        for (int r = 0; r < 4; ++r) {
+            const float32x4_t av = vdupq_n_f32(arow[r]);
+            acc[r][0] = vfmaq_f32(acc[r][0], av, b0);
+            acc[r][1] = vfmaq_f32(acc[r][1], av, b1);
+            acc[r][2] = vfmaq_f32(acc[r][2], av, b2);
+            acc[r][3] = vfmaq_f32(acc[r][3], av, b3);
+        }
+    }
+    for (int r = 0; r < 4; ++r) {
+        float *crow = c + (ib + r) * ldc + jb;
+        for (int v = 0; v < 4; ++v) {
+            float32x4_t out = acc[r][v];
+            if (addInto)
+                out = vaddq_f32(out, vld1q_f32(crow + 4 * v));
+            vst1q_f32(crow + 4 * v, out);
+        }
+    }
+}
+
+void
+fullTile(const float *ap, const float *bp, int64_t kc, float *c, int64_t ldc,
+         bool addInto)
+{
+    for (int64_t ib = 0; ib < kMr; ib += 4)
+        for (int64_t jb = 0; jb < kNr; jb += 16)
+            subTile4x16(ap, bp, kc, c, ldc, ib, jb, addInto);
+}
+
+void
+microKernelNeon(const float *ap, const float *bp, int64_t kc, float *c,
+                int64_t ldc, int64_t mr, int64_t nr, bool addInto)
+{
+    if (mr == kMr && nr == kNr) {
+        fullTile(ap, bp, kc, c, ldc, addInto);
+        return;
+    }
+    float buf[kMr * kNr];
+    fullTile(ap, bp, kc, buf, kNr, /*addInto=*/false);
+    if (addInto) {
+        for (int64_t i = 0; i < mr; ++i)
+            for (int64_t j = 0; j < nr; ++j)
+                c[i * ldc + j] += buf[i * kNr + j];
+    } else {
+        for (int64_t i = 0; i < mr; ++i)
+            for (int64_t j = 0; j < nr; ++j)
+                c[i * ldc + j] = buf[i * kNr + j];
+    }
+}
+
+} // namespace
+
+const MicroKernelFn kMicroKernelNeon = &microKernelNeon;
+
+} // namespace lrd::simd
+
+#else // !(__aarch64__ && __ARM_NEON)
+
+namespace lrd::simd {
+const MicroKernelFn kMicroKernelNeon = nullptr;
+} // namespace lrd::simd
+
+#endif

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Portable microkernel: the dispatch table's always-available floor
+ * and the reference the SIMD kernels are parity-tested against. The
+ * compiler is free to auto-vectorize these loops for the build's
+ * -march baseline; what "scalar" pins down is the accumulation
+ * structure (one fixed-order k chain per C element), not the
+ * instruction encoding.
+ */
+
+#include "tensor/simd/kernels.h"
+#include "tensor/simd/pack.h"
+
+namespace lrd::simd {
+
+void
+microKernelScalar(const float *ap, const float *bp, int64_t kc, float *c,
+                  int64_t ldc, int64_t mr, int64_t nr, bool addInto)
+{
+    float acc[kMr][kNr];
+    for (int64_t i = 0; i < kMr; ++i)
+        for (int64_t j = 0; j < kNr; ++j)
+            acc[i][j] = 0.0F;
+    for (int64_t p = 0; p < kc; ++p) {
+        const float *arow = ap + p * kMr;
+        const float *brow = bp + p * kNr;
+        for (int64_t i = 0; i < kMr; ++i) {
+            const float av = arow[i];
+            for (int64_t j = 0; j < kNr; ++j)
+                acc[i][j] += av * brow[j];
+        }
+    }
+    if (addInto) {
+        for (int64_t i = 0; i < mr; ++i)
+            for (int64_t j = 0; j < nr; ++j)
+                c[i * ldc + j] += acc[i][j];
+    } else {
+        for (int64_t i = 0; i < mr; ++i)
+            for (int64_t j = 0; j < nr; ++j)
+                c[i * ldc + j] = acc[i][j];
+    }
+}
+
+} // namespace lrd::simd

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Internal declarations of the per-ISA microkernel implementations.
+ * Each kernel TU is compiled with its own -m flags (see
+ * src/tensor/CMakeLists.txt) and exposes exactly one function here;
+ * on architectures where a level cannot be compiled the TU defines
+ * the symbol as nullptr-yielding via the *_available flag instead.
+ * Production code never calls these directly — dispatch.cc builds the
+ * kernel table from them once per process.
+ */
+
+#ifndef LRD_TENSOR_SIMD_KERNELS_H
+#define LRD_TENSOR_SIMD_KERNELS_H
+
+#include "tensor/simd/simd.h"
+
+namespace lrd::simd {
+
+/** Portable reference kernel; always available. */
+void microKernelScalar(const float *ap, const float *bp, int64_t kc,
+                       float *c, int64_t ldc, int64_t mr, int64_t nr,
+                       bool addInto);
+
+/** AVX2+FMA kernel, or nullptr when not compiled for x86. */
+extern const MicroKernelFn kMicroKernelAvx2;
+
+/** AVX-512F kernel, or nullptr when not compiled for x86. */
+extern const MicroKernelFn kMicroKernelAvx512;
+
+/** AArch64 NEON kernel, or nullptr when not compiled for ARM. */
+extern const MicroKernelFn kMicroKernelNeon;
+
+} // namespace lrd::simd
+
+#endif // LRD_TENSOR_SIMD_KERNELS_H

@@ -1,0 +1,113 @@
+#include "tensor/simd/pack.h"
+
+#include <algorithm>
+
+#include "tensor/simd/simd.h"
+
+namespace lrd::simd {
+
+void
+packAPanels(const float *a, int64_t lda, bool trans, int64_t i0, int64_t p0,
+            int64_t mc, int64_t kc, float *dst)
+{
+    for (int64_t ir = 0; ir < mc; ir += kMr) {
+        const int64_t mr = std::min(kMr, mc - ir);
+        if (!trans) {
+            for (int64_t p = 0; p < kc; ++p) {
+                const float *col = a + (i0 + ir) * lda + (p0 + p);
+                for (int64_t i = 0; i < mr; ++i)
+                    dst[p * kMr + i] = col[i * lda];
+                for (int64_t i = mr; i < kMr; ++i)
+                    dst[p * kMr + i] = 0.0F;
+            }
+        } else {
+            // A(i, p) = a[p * lda + i]: each packed column is
+            // contiguous in storage.
+            for (int64_t p = 0; p < kc; ++p) {
+                const float *row = a + (p0 + p) * lda + (i0 + ir);
+                for (int64_t i = 0; i < mr; ++i)
+                    dst[p * kMr + i] = row[i];
+                for (int64_t i = mr; i < kMr; ++i)
+                    dst[p * kMr + i] = 0.0F;
+            }
+        }
+        dst += kMr * kc;
+    }
+}
+
+void
+packBPanels(const float *b, int64_t ldb, bool trans, int64_t p0, int64_t j0,
+            int64_t kc, int64_t nc, float *dst)
+{
+    for (int64_t jr = 0; jr < nc; jr += kNr) {
+        const int64_t nr = std::min(kNr, nc - jr);
+        if (!trans) {
+            for (int64_t p = 0; p < kc; ++p) {
+                const float *row = b + (p0 + p) * ldb + (j0 + jr);
+                for (int64_t j = 0; j < nr; ++j)
+                    dst[p * kNr + j] = row[j];
+                for (int64_t j = nr; j < kNr; ++j)
+                    dst[p * kNr + j] = 0.0F;
+            }
+        } else {
+            // B(p, j) = b[j * ldb + p].
+            for (int64_t p = 0; p < kc; ++p) {
+                const float *col = b + (j0 + jr) * ldb + (p0 + p);
+                for (int64_t j = 0; j < nr; ++j)
+                    dst[p * kNr + j] = col[j * ldb];
+                for (int64_t j = nr; j < kNr; ++j)
+                    dst[p * kNr + j] = 0.0F;
+            }
+        }
+        dst += kNr * kc;
+    }
+}
+
+PackedMat
+packMatrixB(const float *b, int64_t k, int64_t n, bool trans)
+{
+    PackedMat packed;
+    packed.k = k;
+    packed.n = n;
+    const int64_t nPad = (n + kNr - 1) / kNr * kNr;
+    const int64_t numSlabs = (k + kKc - 1) / kKc;
+    packed.slabOffset.reserve(static_cast<size_t>(numSlabs));
+    packed.slabKc.reserve(static_cast<size_t>(numSlabs));
+    packed.data.resize(static_cast<size_t>(nPad * k));
+    int64_t offset = 0;
+    for (int64_t pc = 0; pc < k; pc += kKc) {
+        const int64_t kc = std::min(kKc, k - pc);
+        packed.slabOffset.push_back(offset);
+        packed.slabKc.push_back(kc);
+        packBPanels(b, trans ? k : n, trans, pc, 0, kc, n,
+                    packed.data.data() + offset);
+        offset += nPad * kc;
+    }
+    return packed;
+}
+
+void
+gemmPackedB(const float *a, int64_t lda, int64_t mc, const PackedMat &b,
+            float *c, int64_t ldc, float *scratch)
+{
+    const MicroKernelFn kernel = activeKernels().microKernel;
+    const int64_t n = b.n;
+    for (int64_t s = 0; s < b.numSlabs(); ++s) {
+        const int64_t kc = b.slabKc[static_cast<size_t>(s)];
+        const int64_t pc = s * kKc;
+        const bool addInto = s > 0;
+        packAPanels(a, lda, false, 0, pc, mc, kc, scratch);
+        const float *bslab = b.slab(s);
+        for (int64_t jr = 0; jr < n; jr += kNr) {
+            const float *bp = bslab + (jr / kNr) * kNr * kc;
+            const int64_t nr = std::min(kNr, n - jr);
+            for (int64_t ir = 0; ir < mc; ir += kMr) {
+                const float *ap = scratch + (ir / kMr) * kMr * kc;
+                kernel(ap, bp, kc, c + ir * ldc + jr, ldc,
+                       std::min(kMr, mc - ir), nr, addInto);
+            }
+        }
+    }
+}
+
+} // namespace lrd::simd

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD microkernels for the packed GEMM driver.
+ *
+ * The blocked GEMM in tensor/ops.cc packs operands into fixed
+ * MR x NR panels (see tensor/simd/pack.h) and multiplies them with an
+ * inner register-tile microkernel. This header is the dispatch seam:
+ * the kernel implementation is chosen once per process from the CPU's
+ * capabilities (cpuid via __builtin_cpu_supports) or pinned with the
+ * LRD_SIMD environment variable, and every caller fetches it through
+ * activeKernels().
+ *
+ * Levels:
+ *  - scalar: portable C++ kernel (the compiler may still auto-
+ *    vectorize it for the -march baseline of the build). Always
+ *    available; the reference for parity tests.
+ *  - neon:   AArch64 NEON (vfmaq_f32), compiled only on ARM builds.
+ *  - avx2:   x86 AVX2+FMA, compiled per-TU with -mavx2 -mfma and run
+ *    only when cpuid reports both features.
+ *  - avx512: x86 AVX-512F, compiled per-TU with -mavx512f.
+ *
+ * Determinism contract: for a FIXED level, every kernel accumulates
+ * each C element over k in the same ascending order, so results are
+ * bitwise identical at any LRD_THREADS setting. Across levels the
+ * bits may differ (FMA contraction, lane tails); parity is within the
+ * tolerance documented in docs/ARCHITECTURE.md and enforced by
+ * tests/gemm_reference_test.cc.
+ *
+ * All intrinsics (<immintrin.h>, <arm_neon.h>) are confined to
+ * src/tensor/simd/ — machine-enforced by the lrd-lint rule
+ * `intrinsics-outside-simd`.
+ */
+
+#ifndef LRD_TENSOR_SIMD_SIMD_H
+#define LRD_TENSOR_SIMD_SIMD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lrd::simd {
+
+/** Instruction-set level of a microkernel implementation. */
+enum class Level { Scalar = 0, Neon = 1, Avx2 = 2, Avx512 = 3 };
+
+/**
+ * Inner microkernel: C tile (mr x nr, mr <= kMr, nr <= kNr) +=/= the
+ * product of one packed A panel (k-major, kMr wide) and one packed B
+ * panel (p-major, kNr wide) over kc. `addInto` selects C += acc
+ * versus C = acc. Padded pack lanes feed only discarded accumulator
+ * entries, so IEEE specials propagate exactly like the scalar kernel
+ * (no zero-skip).
+ */
+using MicroKernelFn = void (*)(const float *ap, const float *bp, int64_t kc,
+                               float *c, int64_t ldc, int64_t mr, int64_t nr,
+                               bool addInto);
+
+/** The per-level kernel entry; one row of the dispatch table. */
+struct KernelTable
+{
+    Level level = Level::Scalar;
+    const char *name = "scalar";
+    MicroKernelFn microKernel = nullptr;
+};
+
+/** Stable lowercase name ("scalar", "neon", "avx2", "avx512"). */
+const char *levelName(Level level);
+
+/**
+ * The active kernel table. Resolved on first use: LRD_SIMD=scalar|
+ * neon|avx2|avx512 pins the level (fatal if the CPU cannot run it),
+ * otherwise the highest supported level wins. The choice is recorded
+ * on the obs counter "simd.dispatch.<name>".
+ */
+const KernelTable &activeKernels();
+
+/** Level of the active kernel table. */
+Level activeLevel();
+
+/**
+ * Override the active level (tests, benchmarks). Fatal when the CPU
+ * does not support `level`. Must not be called from inside a parallel
+ * region; the change applies to subsequent GEMM calls.
+ */
+void setActiveLevel(Level level);
+
+/** Every level this CPU can run, lowest (scalar) first. */
+std::vector<Level> availableLevels();
+
+/** Whether the CPU can run kernels of the given level. */
+bool levelSupported(Level level);
+
+/** Parse a LRD_SIMD-style name; returns false on unknown names. */
+bool parseLevel(const std::string &name, Level *out);
+
+/** Per-level microkernel, or nullptr when not compiled/supported.
+ *  Exposed for parity tests; production code uses activeKernels(). */
+MicroKernelFn microKernelForLevel(Level level);
+
+} // namespace lrd::simd
+
+#endif // LRD_TENSOR_SIMD_SIMD_H

@@ -19,9 +19,11 @@
 #include "eval/evaluator.h"
 #include "linalg/linalg.h"
 #include "model/config.h"
+#include "model/linear.h"
 #include "obs/metrics.h"
 #include "parallel/thread_pool.h"
 #include "tensor/ops.h"
+#include "tensor/simd/simd.h"
 #include "train/model_zoo.h"
 #include "train/trainer.h"
 
@@ -148,6 +150,69 @@ TEST(Determinism, GemmSkinnyFallbackAcrossThreadCounts)
         withThreads(kManyThreads, [&] { return matmulTransB(a, bt); });
     EXPECT_TRUE(bitwiseEqual(c1, cN));
     EXPECT_TRUE(bitwiseEqual(d1, dN));
+}
+
+/** The bitwise thread-count contract must hold at every microkernel
+ *  level this host can run, not just the startup choice: each level
+ *  assigns every C element to exactly one fixed row chunk and visits
+ *  k-slabs in a fixed serial order. */
+TEST(Determinism, MatmulAcrossThreadCountsAtEverySimdLevel)
+{
+    Rng rng(31);
+    const Tensor a = Tensor::randn({65, 130}, rng);
+    const Tensor b = Tensor::randn({130, 53}, rng);
+    const Tensor bt = Tensor::randn({53, 130}, rng);
+    const Tensor at = Tensor::randn({65, 96}, rng);
+
+    const simd::Level restore = simd::activeLevel();
+    for (const simd::Level level : simd::availableLevels()) {
+        simd::setActiveLevel(level);
+        const Tensor c1 = withThreads(1, [&] { return matmul(a, b); });
+        const Tensor c4 = withThreads(4, [&] { return matmul(a, b); });
+        const Tensor cN =
+            withThreads(kManyThreads, [&] { return matmul(a, b); });
+        EXPECT_TRUE(bitwiseEqual(c1, c4)) << simd::levelName(level);
+        EXPECT_TRUE(bitwiseEqual(c1, cN)) << simd::levelName(level);
+
+        const Tensor d1 =
+            withThreads(1, [&] { return matmulTransB(a, bt); });
+        const Tensor dN = withThreads(kManyThreads,
+                                      [&] { return matmulTransB(a, bt); });
+        EXPECT_TRUE(bitwiseEqual(d1, dN)) << simd::levelName(level);
+
+        const Tensor e1 =
+            withThreads(1, [&] { return matmulTransA(a, at); });
+        const Tensor eN = withThreads(kManyThreads,
+                                      [&] { return matmulTransA(a, at); });
+        EXPECT_TRUE(bitwiseEqual(e1, eN)) << simd::levelName(level);
+    }
+    simd::setActiveLevel(restore);
+}
+
+/** The fused factorized forward shares the contract: both its panel
+ *  mode (small factors) and stage mode (large factors) chunk rows
+ *  identically regardless of thread count. */
+TEST(Determinism, FusedFactorizedForwardAcrossThreadCounts)
+{
+    Rng rng(32);
+    // rank 24 of 96 stays in panel mode; rank 200 of 256 crosses the
+    // packed-weight threshold into stage mode.
+    for (const auto &[dim, rank] :
+         {std::pair<int64_t, int64_t>{96, 24}, {256, 200}}) {
+        Linear l(dim, dim, /*hasBias=*/true, "dettest.fused", rng);
+        l.installFactorShape(rank);
+        for (Parameter *p : l.parameters())
+            p->value = Tensor::randn(p->value.shape(), rng);
+        const Tensor x = Tensor::randn({96, dim}, rng);
+
+        Linear::setFusedForwardEnabled(true);
+        const Tensor y1 = withThreads(1, [&] { return l.forward(x); });
+        const Tensor y4 = withThreads(4, [&] { return l.forward(x); });
+        const Tensor yN =
+            withThreads(kManyThreads, [&] { return l.forward(x); });
+        EXPECT_TRUE(bitwiseEqual(y1, y4)) << dim << "/" << rank;
+        EXPECT_TRUE(bitwiseEqual(y1, yN)) << dim << "/" << rank;
+    }
 }
 
 } // namespace

@@ -11,7 +11,9 @@
 #include <limits>
 #include <tuple>
 
+#include "model/linear.h"
 #include "tensor/ops.h"
+#include "tensor/simd/simd.h"
 #include "util/rng.h"
 
 namespace lrd {
@@ -168,6 +170,182 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(33, 401, 97),
                       std::make_tuple(65, 130, 53),
                       std::make_tuple(129, 63, 201)));
+
+/** Pins each microkernel level this host can run and re-checks the
+ *  dispatched entry points against the scalar reference; restores the
+ *  startup level afterwards. */
+class GemmSimdLevel : public ::testing::TestWithParam<int>
+{
+  protected:
+    void SetUp() override
+    {
+        restore_ = simd::activeLevel();
+        const auto level = static_cast<simd::Level>(GetParam());
+        if (!simd::levelSupported(level))
+            GTEST_SKIP() << "level '" << simd::levelName(level)
+                         << "' not available on this host/build";
+        simd::setActiveLevel(level);
+    }
+    void TearDown() override { simd::setActiveLevel(restore_); }
+
+  private:
+    simd::Level restore_ = simd::Level::Scalar;
+};
+
+TEST_P(GemmSimdLevel, OddShapesMatchReference)
+{
+    // Shapes straddling the 8 x 48 register tile, the 384-deep k-slab
+    // and the 32-row parallel chunk, so every partial-tile merge path
+    // of the pinned kernel is exercised.
+    for (const auto &[m, k, n] :
+         {std::tuple<int64_t, int64_t, int64_t>{1, 1, 1},
+          {1, 385, 1},
+          {7, 9, 47},
+          {9, 385, 49},
+          {16, 8, 24},
+          {33, 401, 97},
+          {65, 130, 53}}) {
+        Rng rng(static_cast<uint64_t>(500 + m + k + n));
+        for (const bool accumulate : {false, true}) {
+            Tensor a = Tensor::randn({m, k}, rng);
+            Tensor b = Tensor::randn({k, n}, rng);
+            Tensor want = Tensor::randn({m, n}, rng);
+            Tensor got = want;
+            referenceGemm(a, b, want, false, false, accumulate);
+            gemm(a.data(), b.data(), got.data(), m, k, n, accumulate);
+            EXPECT_LT(relativeError(want, got), 1e-4)
+                << simd::levelName(simd::activeLevel()) << " " << m << "x"
+                << k << "x" << n << " acc=" << accumulate;
+
+            Tensor bt = Tensor::randn({n, k}, rng);
+            Tensor wantT = Tensor::randn({m, n}, rng);
+            Tensor gotT = wantT;
+            referenceGemm(a, bt, wantT, false, true, accumulate);
+            gemmTransB(a.data(), bt.data(), gotT.data(), m, k, n,
+                       accumulate);
+            EXPECT_LT(relativeError(wantT, gotT), 1e-4)
+                << simd::levelName(simd::activeLevel()) << " transB " << m
+                << "x" << k << "x" << n;
+        }
+    }
+}
+
+TEST_P(GemmSimdLevel, NanPropagates)
+{
+    // Zero-padded pack lanes must not suppress NaN/Inf: every level
+    // computes full padded tiles rather than skipping zero entries.
+    const int64_t m = 32, k = 64, n = 64;
+    Rng rng(21);
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+    a(3, 5) = 0.0F;
+    b(5, 7) = std::numeric_limits<float>::quiet_NaN();
+    Tensor c({m, n});
+    gemm(a.data(), b.data(), c.data(), m, k, n, false);
+    EXPECT_TRUE(std::isnan(c(3, 7)))
+        << simd::levelName(simd::activeLevel());
+    EXPECT_FALSE(std::isnan(c(2, 6)))
+        << simd::levelName(simd::activeLevel());
+}
+
+TEST_P(GemmSimdLevel, MatchesScalarLevelWithinTolerance)
+{
+    // Cross-level agreement is tolerance-based, not bitwise: wider
+    // lanes contract multiply-adds with FMA while the scalar fallback
+    // may not, so rounding differs by a few ULPs.
+    const int64_t m = 33, k = 390, n = 95;
+    Rng rng(22);
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+    Tensor got({m, n});
+    gemm(a.data(), b.data(), got.data(), m, k, n, false);
+
+    simd::setActiveLevel(simd::Level::Scalar);
+    Tensor scalar({m, n});
+    gemm(a.data(), b.data(), scalar.data(), m, k, n, false);
+    EXPECT_LT(relativeError(scalar, got), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Levels, GemmSimdLevel,
+    ::testing::Values(static_cast<int>(simd::Level::Scalar),
+                      static_cast<int>(simd::Level::Neon),
+                      static_cast<int>(simd::Level::Avx2),
+                      static_cast<int>(simd::Level::Avx512)),
+    [](const ::testing::TestParamInfo<int> &levelInfo) {
+        return simd::levelName(static_cast<simd::Level>(levelInfo.param));
+    });
+
+/** The fused inference path must agree with the unfused three-matmul
+ *  chain: same factors, same input, tolerance for the different
+ *  blocking/contraction order. */
+TEST(FusedFactorizedForward, MatchesUnfusedWithinTolerance)
+{
+    Rng rng(23);
+    for (const auto &[out, in, rank, rows] :
+         {std::tuple<int64_t, int64_t, int64_t, int64_t>{64, 48, 12, 33},
+          {96, 96, 40, 8},
+          {176, 64, 16, 65}}) {
+        Linear l(out, in, /*hasBias=*/true, "fusedtest", rng);
+        l.installFactorShape(rank);
+        for (Parameter *p : l.parameters())
+            p->value = Tensor::randn(p->value.shape(), rng);
+        Tensor x = Tensor::randn({rows, in}, rng);
+
+        Linear::setFusedForwardEnabled(true);
+        Tensor fused = l.forward(x);
+        Linear::setFusedForwardEnabled(false);
+        Tensor unfused = l.forward(x);
+        Linear::setFusedForwardEnabled(true);
+
+        ASSERT_EQ(fused.dim(0), rows);
+        ASSERT_EQ(fused.dim(1), out);
+        EXPECT_LT(relativeError(unfused, fused), 1e-5)
+            << out << "x" << in << " rank " << rank << " rows " << rows;
+    }
+}
+
+/** Below one tile of rows the fused gate must fall back to the
+ *  unfused path (identical results, no packed-weight build). */
+TEST(FusedFactorizedForward, SkinnyBatchTakesUnfusedPath)
+{
+    Rng rng(24);
+    Linear l(32, 32, /*hasBias=*/false, "fusedtest.skinny", rng);
+    ASSERT_TRUE(l.factorize(4).ok());
+    Tensor x = Tensor::randn({1, 32}, rng);
+
+    Linear::setFusedForwardEnabled(true);
+    Tensor a = l.forward(x);
+    Linear::setFusedForwardEnabled(false);
+    Tensor b2 = l.forward(x);
+    Linear::setFusedForwardEnabled(true);
+    for (int64_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b2[i]) << i;
+}
+
+/** Writing factor values directly (as calibration and tests do via
+ *  parameters()) must not leave the fused path computing against
+ *  stale packed panels. */
+TEST(FusedFactorizedForward, DetectsExternalFactorWrites)
+{
+    Rng rng(25);
+    Linear l(40, 40, /*hasBias=*/false, "fusedtest.stale", rng);
+    l.installFactorShape(8);
+    for (Parameter *p : l.parameters())
+        p->value = Tensor::randn(p->value.shape(), rng);
+    Tensor x = Tensor::randn({16, 40}, rng);
+    Tensor before = l.forward(x); // packs the factors
+
+    for (Parameter *p : l.parameters())
+        p->value[0] += 1.0F; // bypasses invalidatePackedWeights()
+    Tensor after = l.forward(x);
+
+    Linear::setFusedForwardEnabled(false);
+    Tensor want = l.forward(x);
+    Linear::setFusedForwardEnabled(true);
+    EXPECT_LT(relativeError(want, after), 1e-5);
+    EXPECT_GT(relativeError(before, after), 1e-6);
+}
 
 TEST(GemmEdge, NanPropagatesThroughZeroEntries)
 {

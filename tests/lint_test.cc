@@ -427,5 +427,63 @@ TEST(LintFormat, LintFilesSortsAndMergesGraphRules)
     EXPECT_EQ("src/util/z.cc", diags[1].file);
 }
 
+TEST(LintIntrinsics, FlagsIntrinsicsHeaderOutsideSimd)
+{
+    const auto diags = lintSnippet("src/model/linear.cc", R"(
+#include <immintrin.h>
+void f();
+)");
+    EXPECT_TRUE(hasRule(diags, kRuleIntrinsics));
+}
+
+TEST(LintIntrinsics, FlagsNeonHeaderAndOpsOutsideSimd)
+{
+    const auto diags = lintSnippet("src/tensor/ops.cc", R"(
+#include <arm_neon.h>
+void f(const float *p) {
+    float32x4_t v = vld1q_f32(p);
+    (void)v;
+}
+)");
+    EXPECT_TRUE(hasRule(diags, kRuleIntrinsics));
+}
+
+TEST(LintIntrinsics, FlagsMmIdentifierWithoutHeader)
+{
+    const auto diags = lintSnippet("src/linalg/linalg.cc", R"(
+void f(float *c, const float *a) {
+    auto v = _mm256_loadu_ps(a);
+    _mm256_storeu_ps(c, v);
+}
+)");
+    EXPECT_TRUE(hasRule(diags, kRuleIntrinsics));
+}
+
+TEST(LintIntrinsics, AllowsIntrinsicsInsideSimdDirectory)
+{
+    const auto diags = lintSnippet("src/tensor/simd/kernel_avx2.cc", R"(
+#include <immintrin.h>
+void f(float *c, const float *a) {
+    __m256 v = _mm256_loadu_ps(a);
+    _mm256_storeu_ps(c, v);
+}
+)");
+    EXPECT_FALSE(hasRule(diags, kRuleIntrinsics));
+}
+
+TEST(LintIntrinsics, IgnoresOrdinaryIdentifiers)
+{
+    const auto diags = lintSnippet("src/model/linear.cc", R"(
+void f() {
+    int value = 0;
+    int visit = value;
+    float vmax_norm = 0.0F;
+    (void)visit;
+    (void)vmax_norm;
+}
+)");
+    EXPECT_FALSE(hasRule(diags, kRuleIntrinsics));
+}
+
 } // namespace
 } // namespace lrd::lint

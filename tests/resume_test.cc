@@ -16,6 +16,7 @@
 #include "dse/optimizer.h"
 #include "eval/evaluator.h"
 #include "model/transformer.h"
+#include "obs/metrics.h"
 #include "parallel/thread_pool.h"
 #include "robust/cancel.h"
 #include "robust/fault.h"
@@ -456,6 +457,48 @@ TEST(Resume, StrictPolicyFailsFastOnNonConvergence)
     EXPECT_THROW(model.applyTucker(0, WeightKind::Query, 2),
                  std::runtime_error);
     clearFaults();
+}
+
+/** A kill-and-resume DSE sweep with the fused factorized forward
+ *  enabled (the default): the sweep's factorized eval forwards must
+ *  actually take the fused path, and the resumed sweep must still
+ *  reproduce the uninterrupted one bitwise. */
+TEST(Resume, DseKillAndResumeIsBitwiseWithFusedPathEngaged)
+{
+    RobustGuard guard;
+    ThreadPool::instance().resize(2);
+    MetricsRegistry::instance().setEnabled(true);
+    Counter *fused = MetricsRegistry::instance().counter(
+        "model.linear.fusedForwards");
+    const int64_t fusedBefore = fused->total();
+    ASSERT_TRUE(Linear::fusedForwardEnabled());
+
+    OptimizerOptions opts;
+    opts.evalTasks = 6;
+    opts.accuracyDropTolerance = 1.1;
+    const OptimizerResult ref =
+        optimizeDecomposition(trainedBytes(), smallWorld(), opts);
+    ASSERT_FALSE(ref.cancelled);
+    EXPECT_GT(fused->total(), fusedBefore)
+        << "factorized eval forwards bypassed the fused path";
+
+    opts.checkpointPath = ckptPath("lrd_resume_dse_fused.bin");
+    opts.checkpointEvery = 2;
+    setFault(FaultSpec{"dse.batch", FaultKind::Cancel, 2});
+    const OptimizerResult cut =
+        optimizeDecomposition(trainedBytes(), smallWorld(), opts);
+    clearFaults();
+    clearCancelRequest();
+    ASSERT_TRUE(cut.cancelled);
+
+    opts.resume = true;
+    const OptimizerResult resumed =
+        optimizeDecomposition(trainedBytes(), smallWorld(), opts);
+    ASSERT_FALSE(resumed.cancelled);
+    expectSameRecords(resumed.explored, ref.explored);
+    EXPECT_EQ(resumed.best.edp, ref.best.edp);
+    MetricsRegistry::instance().setEnabled(false);
+    ThreadPool::instance().resize(1);
 }
 
 } // namespace

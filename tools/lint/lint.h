@@ -69,6 +69,7 @@ inline constexpr const char *kRuleLayering = "include-layering";
 inline constexpr const char *kRuleCycle = "include-cycle";
 inline constexpr const char *kRuleNakedThrow = "naked-throw";
 inline constexpr const char *kRuleBlockingSleep = "blocking-sleep";
+inline constexpr const char *kRuleIntrinsics = "intrinsics-outside-simd";
 
 /**
  * Layer of a module directory in the declared layering, or -1 when

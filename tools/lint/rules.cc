@@ -227,6 +227,83 @@ checkBannedIdentifiers(const SourceFile &file, const std::vector<Token> &toks,
     }
 }
 
+/** Intrinsics headers that only src/tensor/simd/ may include. */
+const std::set<std::string> kIntrinsicsHeaders = {
+    "immintrin.h", "x86intrin.h", "xmmintrin.h", "emmintrin.h",
+    "smmintrin.h", "avxintrin.h", "avx2intrin.h", "avx512fintrin.h",
+    "arm_neon.h",  "arm_sve.h",
+};
+
+/** True for identifiers that belong to the x86/NEON intrinsics
+ *  surface: _mm and __m128/__m256/__m512 prefixed names, NEON vector
+ *  types (float32x4_t, ...) and vector lane ops (vld1q_f32,
+ *  vfmaq_f32). */
+bool
+isIntrinsicIdentifier(const std::string &s)
+{
+    if (startsWith(s, "_mm") || startsWith(s, "__m128") ||
+        startsWith(s, "__m256") || startsWith(s, "__m512"))
+        return true;
+    // NEON vector types: <elem><bits>x<lanes>_t.
+    if (s.size() > 2 && s.find("x") != std::string::npos &&
+        s.rfind("_t") == s.size() - 2 &&
+        (startsWith(s, "float32x") || startsWith(s, "float64x") ||
+         startsWith(s, "int8x") || startsWith(s, "int16x") ||
+         startsWith(s, "int32x") || startsWith(s, "int64x") ||
+         startsWith(s, "uint8x") || startsWith(s, "uint16x") ||
+         startsWith(s, "uint32x") || startsWith(s, "uint64x")))
+        return true;
+    // NEON lane ops: v<op>q_<type> / v<op>_<type> (vld1q_f32,
+    // vdupq_n_f32, vaddq_f32, ...). Require the type suffix so plain
+    // identifiers like 'value' or 'visit' never match.
+    if (s.size() > 4 && s[0] == 'v') {
+        for (const char *suffix :
+             {"_f32", "_f64", "_s8", "_s16", "_s32", "_s64", "_u8",
+              "_u16", "_u32", "_u64"}) {
+            const std::string suf(suffix);
+            if (s.size() > suf.size() &&
+                s.rfind(suf) == s.size() - suf.size())
+                return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * Confine raw SIMD to the microkernel layer: only src/tensor/simd/
+ * may include intrinsics headers or spell intrinsic identifiers.
+ * Everything else goes through the dispatched gemm entry points, so
+ * a new ISA level lands in exactly one directory and the scalar
+ * fallback can never silently diverge.
+ */
+void
+checkIntrinsicsConfinement(const SourceFile &file, const LexedFile &lexed,
+                           Sink &sink)
+{
+    if (startsWith(file.path, "src/tensor/simd/"))
+        return;
+    for (const IncludeDirective &inc : lexed.includes) {
+        if (kIntrinsicsHeaders.count(inc.target)) {
+            sink.emit(inc.line, kRuleIntrinsics,
+                      "intrinsics header <" + inc.target +
+                          "> outside src/tensor/simd/: SIMD kernels "
+                          "live behind the dispatch table "
+                          "(tensor/simd/simd.h) so every caller gets "
+                          "the runtime-selected level and the scalar "
+                          "fallback stays reachable");
+        }
+    }
+    for (const Token &t : lexed.tokens) {
+        if (t.kind == TokKind::Identifier && isIntrinsicIdentifier(t.text)) {
+            sink.emit(t.line, kRuleIntrinsics,
+                      "intrinsic '" + t.text +
+                          "' outside src/tensor/simd/: call the "
+                          "dispatched gemm/pack entry points instead "
+                          "of open-coding SIMD");
+        }
+    }
+}
+
 /** Kind of scope a `{` opens, for namespace-scope tracking. */
 enum class BraceKind { Namespace, Type, Init, Other };
 
@@ -451,6 +528,7 @@ lintFile(const SourceFile &file)
     Sink sink{file, ann, out};
 
     checkBannedIdentifiers(file, lexed.tokens, sink);
+    checkIntrinsicsConfinement(file, lexed, sink);
     checkNamespaceScope(file, lexed.tokens, ann, sink);
     checkHeaderGuard(file, lexed, sink);
     return out;

@@ -53,6 +53,7 @@
 #include "robust/checkpoint.h"
 #include "robust/fault.h"
 #include "robust/signal.h"
+#include "tensor/simd/simd.h"
 #include "train/model_zoo.h"
 #include "train/trainer.h"
 #include "util/table.h"
@@ -167,6 +168,9 @@ cmdProfile(const std::string &preset, double percent)
                       : DecompConfig::identity();
     const InferenceEstimate est =
         estimateGeneration(cfg, gamma, dev, wl);
+    std::printf("host SIMD: %s (CPU roofline cross-checks use %s)\n",
+                simd::levelName(simd::activeLevel()),
+                cpuCore().name.c_str());
     std::printf("%s @ %.1f%% reduction on %s (batch %lld, prompt "
                 "%lld, decode %lld):\n",
                 cfg.name.c_str(), gamma.parameterReduction(cfg) * 100.0,
@@ -282,6 +286,8 @@ int
 cmdStats(double percent)
 {
     MetricsRegistry::instance().setEnabled(true);
+    inform(strCat("stats: SIMD dispatch level ",
+                  simd::levelName(simd::activeLevel())));
     TransformerModel model = pretrainedTinyLlama();
     const ModelConfig cfg = model.config();
     const DecompConfig gamma =
