@@ -8,12 +8,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
 #include <thread>
 
 #include "decomp/tucker.h"
 #include "linalg/linalg.h"
 #include "model/transformer.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "tensor/ops.h"
@@ -87,6 +89,31 @@ BM_GemmMetricsOn(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_GemmMetricsOn)->Arg(256);
+
+/** BM_Gemm with the flight-recorder sampler running at a 10 ms tick:
+ *  the delta against BM_Gemm/256 is the telemetry overhead (budget:
+ *  <1% — the sampler only takes relaxed snapshots off-thread). */
+void
+BM_GemmTelemetryOn(benchmark::State &state)
+{
+    const auto n = static_cast<int64_t>(state.range(0));
+    Rng rng(1);
+    Tensor a = Tensor::randn({n, n}, rng);
+    Tensor b = Tensor::randn({n, n}, rng);
+    TelemetryConfig config;
+    config.intervalMs = 10;
+    config.path = "/tmp/lrd_bench_telemetry.jsonl";
+    startTelemetrySampler(config);
+    for (auto _ : state) {
+        Tensor c = matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    stopTelemetrySampler();
+    MetricsRegistry::instance().setEnabled(false);
+    std::remove(config.path.c_str());
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmTelemetryOn)->Arg(256);
 
 /** BM_Gemm with tracing on (spans recorded into the ring buffers). */
 void

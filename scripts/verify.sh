@@ -25,6 +25,24 @@ echo "== lint: lrd-lint over src/ tools/ tests/ bench/ =="
 cmake --build build -j --target lrd-lint
 ./build/tools/lint/lrd-lint --root "${repo_root}"
 
+echo "== bench gate: check_bench.py self-test + advisory quick pass =="
+# The self-test is load-bearing (the gate must pass the baseline
+# against itself and fail a synthetic 20% slowdown); the live
+# comparison is advisory because shared-VM noise on a one-repetition
+# run is not a code regression.
+python3 scripts/check_bench.py --self-test
+if [[ "${LRD_VERIFY_BENCH:-0}" == "1" ]]; then
+    cmake --build build -j --target bench_kernels
+    ./build/bench/bench_kernels \
+        "--benchmark_filter=BM_Gemm/256|BM_GemmTelemetryOn" \
+        --benchmark_repetitions=3 \
+        --benchmark_report_aggregates_only=true \
+        --benchmark_out=/tmp/lrd_verify_bench.json \
+        --benchmark_out_format=json
+    python3 scripts/check_bench.py --fresh /tmp/lrd_verify_bench.json \
+        || echo "bench gate reported regressions (advisory)"
+fi
+
 if command -v run-clang-tidy >/dev/null 2>&1; then
     echo "== clang-tidy (advisory; findings reviewed, not blocking) =="
     run-clang-tidy -quiet -p build "${repo_root}/src" "${repo_root}/tools" \

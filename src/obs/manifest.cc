@@ -1,0 +1,183 @@
+#include "manifest.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+#include "util/logging.h"
+
+#ifndef LRD_GIT_SHA
+#define LRD_GIT_SHA "unknown"
+#endif
+#ifndef LRD_CMAKE_BUILD_TYPE
+#define LRD_CMAKE_BUILD_TYPE "unknown"
+#endif
+
+extern char **environ;
+
+namespace lrd {
+
+namespace {
+
+/** Runtime facts pushed down from the top of the stack; written once
+ *  at startup before any sampler thread reads them. */
+struct RuntimeInfo
+{
+    std::string simdLevel = "unknown";
+    int threads = 0;
+    std::string commandLine;
+};
+
+std::mutex gRuntimeInfoMu;
+RuntimeInfo &
+runtimeInfo()
+{
+    static RuntimeInfo *info = new RuntimeInfo;
+    return *info;
+}
+
+std::string
+readCpuModel()
+{
+    std::FILE *f = std::fopen("/proc/cpuinfo", "r");
+    if (!f)
+        return "unknown";
+    char line[512];
+    std::string model = "unknown";
+    while (std::fgets(line, sizeof(line), f)) {
+        if (std::strncmp(line, "model name", 10) != 0)
+            continue;
+        const char *colon = std::strchr(line, ':');
+        if (!colon)
+            continue;
+        ++colon;
+        while (*colon == ' ' || *colon == '\t')
+            ++colon;
+        model = colon;
+        while (!model.empty()
+               && (model.back() == '\n' || model.back() == '\r'))
+            model.pop_back();
+        break;
+    }
+    std::fclose(f);
+    return model;
+}
+
+/**
+ * Wall-clock capture for run identity and timestamps only. The lint
+ * wall-clock rule guards deterministic *state*; a manifest stamp is
+ * metadata that never feeds back into computation.
+ */
+int64_t
+wallUnixMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               // lrd-lint: allow(wall-clock)
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+std::string
+makeRunId(int64_t unixMs)
+{
+    const auto pid = static_cast<uint64_t>(::getpid());
+    const auto stamp = static_cast<uint64_t>(unixMs);
+    std::ostringstream oss;
+    oss << std::hex << stamp << "-" << pid;
+    return oss.str();
+}
+
+} // namespace
+
+void
+setManifestRuntimeInfo(const std::string &simdLevel, int threads,
+                       const std::string &commandLine)
+{
+    std::lock_guard<std::mutex> lock(gRuntimeInfoMu);
+    RuntimeInfo &info = runtimeInfo();
+    info.simdLevel = simdLevel;
+    info.threads = threads;
+    info.commandLine = commandLine;
+}
+
+RunManifest
+captureRunManifest()
+{
+    RunManifest m;
+    m.startUnixMs = wallUnixMs();
+    m.runId = makeRunId(m.startUnixMs);
+    m.gitSha = LRD_GIT_SHA;
+    m.buildType = LRD_CMAKE_BUILD_TYPE;
+    m.cpuModel = readCpuModel();
+    {
+        std::lock_guard<std::mutex> lock(gRuntimeInfoMu);
+        const RuntimeInfo &info = runtimeInfo();
+        m.simdLevel = info.simdLevel;
+        m.threads = info.threads;
+        m.commandLine = info.commandLine;
+    }
+    for (char **e = environ; e && *e; ++e) {
+        const char *eq = std::strchr(*e, '=');
+        if (!eq || std::strncmp(*e, "LRD_", 4) != 0)
+            continue;
+        m.env.emplace_back(std::string(*e, static_cast<size_t>(eq - *e)),
+                           std::string(eq + 1));
+    }
+    std::sort(m.env.begin(), m.env.end());
+    return m;
+}
+
+std::string
+RunManifest::toJson() const
+{
+    std::ostringstream oss;
+    oss << "{\"type\": \"manifest\", \"schema\": " << schema
+        << ", \"runId\": " << jsonQuote(runId)
+        << ", \"gitSha\": " << jsonQuote(gitSha)
+        << ", \"buildType\": " << jsonQuote(buildType)
+        << ", \"cpuModel\": " << jsonQuote(cpuModel)
+        << ", \"simdLevel\": " << jsonQuote(simdLevel)
+        << ", \"threads\": " << threads
+        << ", \"commandLine\": " << jsonQuote(commandLine)
+        << ", \"startUnixMs\": " << startUnixMs << ", \"env\": {";
+    for (size_t i = 0; i < env.size(); ++i) {
+        oss << (i ? ", " : "") << jsonQuote(env[i].first) << ": "
+            << jsonQuote(env[i].second);
+    }
+    oss << "}}";
+    return oss.str();
+}
+
+Result<RunManifest>
+manifestFromJson(const JsonValue &doc)
+{
+    if (!doc.isObject()
+        || doc.stringOr("type", "manifest") != "manifest")
+        return Status(StatusCode::InvalidArgument, "manifest.parse",
+                      "not a manifest object");
+    RunManifest m;
+    m.schema = static_cast<int>(doc.intOr("schema", 1));
+    m.runId = doc.stringOr("runId", "");
+    m.gitSha = doc.stringOr("gitSha", "unknown");
+    m.buildType = doc.stringOr("buildType", "unknown");
+    m.cpuModel = doc.stringOr("cpuModel", "unknown");
+    m.simdLevel = doc.stringOr("simdLevel", "unknown");
+    m.threads = static_cast<int>(doc.intOr("threads", 0));
+    m.commandLine = doc.stringOr("commandLine", "");
+    m.startUnixMs = doc.intOr("startUnixMs", 0);
+    if (const JsonValue *env = doc.find("env"); env && env->isObject())
+        for (const auto &[name, value] : env->members())
+            if (value.isString())
+                m.env.emplace_back(name, value.asString());
+    if (m.runId.empty())
+        return Status(StatusCode::DataLoss, "manifest.parse",
+                      "manifest record lacks a runId");
+    return m;
+}
+
+} // namespace lrd

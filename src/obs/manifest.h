@@ -1,0 +1,78 @@
+/**
+ * @file
+ * RunManifest: the who/what/where of one process run, captured at
+ * startup and stamped into every flight-recorder artifact so that
+ * telemetry from different runs, machines, and builds stays
+ * attributable and comparable (`lrdtool compare` refuses to diff what
+ * it cannot match).
+ *
+ * Fields and where they come from:
+ *
+ * - runId        wall-clock ns xor pid, hex — unique per process,
+ *                never used as numeric state (determinism unaffected).
+ * - gitSha       LRD_GIT_SHA compile definition (CMake configure time).
+ * - buildType    LRD_CMAKE_BUILD_TYPE compile definition.
+ * - cpuModel     "model name" from /proc/cpuinfo.
+ * - simdLevel /  set via setManifestRuntimeInfo() by the entry point
+ *   threads /    (lrdtool, benches, tests): the SIMD dispatch level
+ *   commandLine  and pool size live in layers *above* obs, so the
+ *                manifest cannot read them itself without a layering
+ *                back-edge — the top of the stack pushes them down.
+ * - env          every LRD_* variable present at capture.
+ * - startUnixMs  wall-clock capture time.
+ *
+ * toJson()/manifestFromJson() round-trip through util/json.h; the
+ * JSON object doubles as the first record of a telemetry JSONL file
+ * (type "manifest").
+ */
+
+#ifndef LRD_OBS_MANIFEST_H
+#define LRD_OBS_MANIFEST_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace lrd {
+
+/** Identity of one run; see file comment for field provenance. */
+struct RunManifest
+{
+    int schema = 1; ///< Bumped on incompatible JSONL layout changes.
+    std::string runId;
+    std::string gitSha;
+    std::string buildType;
+    std::string cpuModel;
+    std::string simdLevel;
+    int threads = 0;
+    std::string commandLine;
+    int64_t startUnixMs = 0;
+    /** LRD_* environment at capture, sorted by name. */
+    std::vector<std::pair<std::string, std::string>> env;
+
+    /** One JSON object (single line, no trailing newline). */
+    std::string toJson() const;
+};
+
+/**
+ * Record runtime facts the obs layer cannot observe itself. Call
+ * before the first captureRunManifest() (lrdtool does this right
+ * after resolving the pool size). Unset fields default to "unknown"
+ * / 0 / "".
+ */
+void setManifestRuntimeInfo(const std::string &simdLevel, int threads,
+                            const std::string &commandLine);
+
+/** Capture a manifest for this process now. */
+RunManifest captureRunManifest();
+
+/** Rebuild a manifest from a parsed toJson() document. */
+Result<RunManifest> manifestFromJson(const JsonValue &doc);
+
+} // namespace lrd
+
+#endif // LRD_OBS_MANIFEST_H

@@ -165,6 +165,36 @@ Histogram::bucketLowerBound(int bucket)
     return bucket <= 0 ? 0 : int64_t{1} << (bucket - 1);
 }
 
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count <= 0)
+        return 0.0;
+    q = q < 0.0 ? 0.0 : q > 1.0 ? 1.0 : q;
+    // Rank of the q-th sample (1-based, nearest-rank convention).
+    const double rank = q * static_cast<double>(count);
+    int64_t seen = 0;
+    for (int b = 0; b < obsdetail::kHistBuckets; ++b) {
+        const int64_t n = buckets[static_cast<size_t>(b)];
+        if (n == 0)
+            continue;
+        const int64_t before = seen;
+        seen += n;
+        if (static_cast<double>(seen) < rank)
+            continue;
+        if (b == 0)
+            return 0.0; // The <=0 bucket.
+        const double lo =
+            static_cast<double>(Histogram::bucketLowerBound(b));
+        const double width = lo; // [2^(b-1), 2^b) spans its lower bound.
+        const double frac =
+            (rank - static_cast<double>(before)) / static_cast<double>(n);
+        return lo + width * (frac < 0.0 ? 0.0 : frac > 1.0 ? 1.0 : frac);
+    }
+    return static_cast<double>(
+        Histogram::bucketLowerBound(obsdetail::kHistBuckets - 1));
+}
+
 MetricsRegistry &
 MetricsRegistry::instance()
 {
@@ -334,7 +364,8 @@ MetricsRegistry::toJson() const
         oss << (i ? ",\n    " : "\n    ");
         appendJsonString(oss, name);
         oss << ": {\"count\": " << hs.count << ", \"sum\": " << hs.sum
-            << ", \"buckets\": {";
+            << ", \"p50\": " << hs.p50() << ", \"p90\": " << hs.p90()
+            << ", \"p99\": " << hs.p99() << ", \"buckets\": {";
         bool first = true;
         for (int b = 0; b < kHistBuckets; ++b) {
             const int64_t n = hs.buckets[static_cast<size_t>(b)];

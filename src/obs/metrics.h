@@ -149,6 +149,20 @@ struct HistogramSnapshot
     int64_t count = 0;
     int64_t sum = 0;
     std::array<int64_t, obsdetail::kHistBuckets> buckets{};
+
+    /**
+     * Estimated value at quantile q in [0, 1], linearly interpolated
+     * inside the covering log2 bucket [2^(b-1), 2^b). The estimate is
+     * exact for bucket boundaries and within one bucket width (a
+     * factor of 2) otherwise — good enough to read a latency
+     * distribution, which raw log2 bucket counts are not. Returns 0
+     * for an empty histogram.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p90() const { return quantile(0.90); }
+    double p99() const { return quantile(0.99); }
 };
 
 /** Point-in-time merged view of the whole registry. */

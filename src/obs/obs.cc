@@ -1,9 +1,11 @@
 #include "obs.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 #include "metrics.h"
+#include "sampler.h"
 #include "trace.h"
 #include "util/logging.h"
 
@@ -18,7 +20,13 @@ struct ObsPaths
 {
     std::string trace;
     std::string stats;
+    /** Telemetry config parsed from LRD_TELEMETRY; armed = start it. */
+    TelemetryConfig telemetry;
+    bool telemetryArmed = false;
 };
+
+/** First flushObservability() wins; later calls are no-ops. */
+std::atomic<bool> gFlushed{false};
 
 ObsPaths &
 obsPaths()
@@ -41,6 +49,13 @@ obsStatsPath()
     return obsPaths().stats;
 }
 
+const std::string &
+obsTelemetryPath()
+{
+    static const std::string empty;
+    return obsPaths().telemetryArmed ? obsPaths().telemetry.path : empty;
+}
+
 void
 initObservabilityFromEnv()
 {
@@ -61,11 +76,31 @@ initObservabilityFromEnv()
         obsPaths().stats = path;
         MetricsRegistry::instance().setEnabled(true);
     }
+    if (const char *spec = std::getenv("LRD_TELEMETRY")) {
+        Result<TelemetryConfig> parsed = parseTelemetrySpec(spec);
+        if (!parsed.ok())
+            fatal(parsed.status().message());
+        obsPaths().telemetry = std::move(parsed).value();
+        obsPaths().telemetryArmed = true;
+        // Counter deltas are the telemetry payload; recording must be
+        // on before any instrumented work runs, not at sampler start.
+        MetricsRegistry::instance().setEnabled(true);
+    }
+}
+
+void
+startTelemetryFromEnv()
+{
+    if (obsPaths().telemetryArmed)
+        startTelemetrySampler(obsPaths().telemetry);
 }
 
 void
 flushObservability()
 {
+    if (gFlushed.exchange(true, std::memory_order_acq_rel))
+        return;
+    stopTelemetrySampler();
     if (!obsPaths().trace.empty()) {
         Tracer &tracer = Tracer::instance();
         tracer.writeChromeJson(obsPaths().trace);

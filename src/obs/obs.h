@@ -13,6 +13,14 @@
  *                         summary to <file>.summary.csv.
  *   LRD_STATS=<file>      enable metrics; flushObservability() writes
  *                         the registry JSON to <file> ("-" = stdout).
+ *   LRD_TELEMETRY=<ms>[:path]
+ *                         flight-recorder time series: sample counter
+ *                         deltas / gauges / histogram quantiles / RSS
+ *                         / arena bytes every <ms> into a JSONL file
+ *                         (default lrd_telemetry.jsonl). The sampler
+ *                         itself starts at startTelemetryFromEnv() so
+ *                         the entry point can push runtime facts into
+ *                         the manifest first (obs/manifest.h).
  */
 
 #ifndef LRD_OBS_OBS_H
@@ -28,12 +36,25 @@ namespace lrd {
  */
 void initObservabilityFromEnv();
 
-/** Write any trace/stats artifacts requested via the environment. */
+/**
+ * Start the telemetry sampler if LRD_TELEMETRY was parsed by
+ * initObservabilityFromEnv (no-op otherwise). Separate from env
+ * parsing so callers can setManifestRuntimeInfo() in between.
+ */
+void startTelemetryFromEnv();
+
+/**
+ * Write any trace/stats artifacts requested via the environment and
+ * stop the telemetry sampler (writing its final record). Idempotent:
+ * the second and later calls are no-ops, so the normal exit path and
+ * the graceful-shutdown path may both call it.
+ */
 void flushObservability();
 
 /** Paths captured by initObservabilityFromEnv ("" = not requested). */
 const std::string &obsTracePath();
 const std::string &obsStatsPath();
+const std::string &obsTelemetryPath();
 
 } // namespace lrd
 

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "util/logging.h"
 #include "util/timer.h"
 #include "util/worker_lane.h"
@@ -431,6 +432,7 @@ noteProgress(const char *site)
 }
 
 WatchdogSection::WatchdogSection(const char *site)
+    : prevPhase_(setTelemetryPhase(site))
 {
     WatchdogState &w = watchdogState();
     w.sectionSite.store(site, std::memory_order_release);
@@ -443,6 +445,7 @@ WatchdogSection::~WatchdogSection()
     WatchdogState &w = watchdogState();
     w.activeSections.fetch_sub(1, std::memory_order_acq_rel);
     noteProgress("section.exit");
+    setTelemetryPhase(prevPhase_);
 }
 
 } // namespace lrd

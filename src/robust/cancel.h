@@ -174,7 +174,13 @@ int64_t watchdogStallCount();
  */
 void noteProgress(const char *site);
 
-/** RAII marker for a pipeline the watchdog should supervise. */
+/**
+ * RAII marker for a pipeline the watchdog should supervise. Doubles
+ * as the telemetry phase label: the site name ("train", "eval",
+ * "dse") tags every flight-recorder sample taken while the section
+ * is open, and the previous phase is restored on exit so nested
+ * sections attribute correctly.
+ */
 class WatchdogSection
 {
   public:
@@ -182,6 +188,9 @@ class WatchdogSection
     ~WatchdogSection();
     WatchdogSection(const WatchdogSection &) = delete;
     WatchdogSection &operator=(const WatchdogSection &) = delete;
+
+  private:
+    const char *prevPhase_;
 };
 
 } // namespace lrd

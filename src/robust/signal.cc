@@ -4,6 +4,8 @@
 #include <csignal>
 #include <unistd.h>
 
+#include "obs/obs.h"
+#include "obs/sampler.h"
 #include "robust/cancel.h"
 #include "robust/fault.h"
 #include "util/logging.h"
@@ -24,6 +26,10 @@ gracefulSignalHandler(int signo)
     if (gSignalsSeen.fetch_add(1, std::memory_order_relaxed) >= 1)
         _exit(128 + signo);
     requestCancel(CancelCause::Signal, "signal");
+    // One relaxed store: the telemetry sampler pushes a sample to
+    // disk within its next wait slice, so an interrupted run keeps
+    // its time series even if the cooperative drain never finishes.
+    requestTelemetryFlush();
 }
 
 } // namespace
@@ -101,6 +107,14 @@ pollCancelFault(const char *site)
 {
     if (faultAt(site, FaultKind::Cancel))
         simulateKill(site);
+}
+
+void
+shutdownFlush()
+{
+    // flushObservability is itself idempotent (and stops the sampler
+    // first), so racing exit paths are harmless.
+    flushObservability();
 }
 
 } // namespace lrd

@@ -62,6 +62,15 @@ void simulateKill(const char *site);
 /** Injection point: LRD_FAULT=<site>:cancel triggers simulateKill(). */
 void pollCancelFault(const char *site);
 
+/**
+ * Flush every observability artifact exactly once: stops the
+ * telemetry sampler (final record + close) and writes any trace /
+ * stats exports. Every lrdtool exit path — success, StatusError,
+ * unexpected exception — funnels through this so a cancelled or
+ * failing run still lands its flight-recorder data on disk.
+ */
+void shutdownFlush();
+
 } // namespace lrd
 
 #endif // LRD_ROBUST_SIGNAL_H

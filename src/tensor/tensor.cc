@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/logging.h"
+#include "util/memprobe.h"
 
 namespace lrd {
 
@@ -34,12 +35,24 @@ numElements(const Shape &shape)
     return n;
 }
 
-Tensor::Tensor() : shape_(), data_(1, 0.0F) {}
+void
+Tensor::accountAlloc()
+{
+    accountedBytes_ =
+        static_cast<int64_t>(data_.size() * sizeof(float));
+    tensorArenaRecordAlloc(accountedBytes_);
+}
+
+Tensor::Tensor() : shape_(), data_(1, 0.0F)
+{
+    accountAlloc();
+}
 
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)),
       data_(static_cast<size_t>(numElements(shape_)), 0.0F)
 {
+    accountAlloc();
 }
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
@@ -48,6 +61,50 @@ Tensor::Tensor(Shape shape, std::vector<float> data)
     require(static_cast<int64_t>(data_.size()) == numElements(shape_),
             strCat("Tensor: data size ", data_.size(), " != shape ",
                    shapeToString(shape_)));
+    accountAlloc();
+}
+
+Tensor::~Tensor()
+{
+    tensorArenaRecordFree(accountedBytes_);
+}
+
+Tensor::Tensor(const Tensor &other)
+    : shape_(other.shape_), data_(other.data_)
+{
+    accountAlloc();
+}
+
+Tensor::Tensor(Tensor &&other) noexcept
+    : shape_(std::move(other.shape_)), data_(std::move(other.data_)),
+      accountedBytes_(other.accountedBytes_)
+{
+    other.accountedBytes_ = 0;
+}
+
+Tensor &
+Tensor::operator=(const Tensor &other)
+{
+    if (this == &other)
+        return *this;
+    tensorArenaRecordFree(accountedBytes_);
+    shape_ = other.shape_;
+    data_ = other.data_;
+    accountAlloc();
+    return *this;
+}
+
+Tensor &
+Tensor::operator=(Tensor &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    tensorArenaRecordFree(accountedBytes_);
+    shape_ = std::move(other.shape_);
+    data_ = std::move(other.data_);
+    accountedBytes_ = other.accountedBytes_;
+    other.accountedBytes_ = 0;
+    return *this;
 }
 
 Tensor

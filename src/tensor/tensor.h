@@ -48,6 +48,20 @@ class Tensor
     /** Tensor with explicit contents; data.size() must match shape. */
     Tensor(Shape shape, std::vector<float> data);
 
+    /** @name Arena-accounted special members
+     *  Every tensor reports its payload bytes to the process-wide
+     *  arena counters (util/memprobe.h) so the telemetry sampler can
+     *  chart live/peak numeric memory without walking live objects.
+     *  Moves transfer the accounted bytes; copies account their own.
+     *  @{
+     */
+    ~Tensor();
+    Tensor(const Tensor &other);
+    Tensor(Tensor &&other) noexcept;
+    Tensor &operator=(const Tensor &other);
+    Tensor &operator=(Tensor &&other) noexcept;
+    /** @} */
+
     /** @name Factories
      *  @{
      */
@@ -118,8 +132,15 @@ class Tensor
     std::string describe() const;
 
   private:
+    /** Report this tensor's payload to the arena counters. */
+    void accountAlloc();
+
     Shape shape_;
     std::vector<float> data_;
+    /** Bytes this instance reported as allocated (0 after move-out);
+     *  external growth through storage() is deliberately unaccounted
+     *  — the counters are a telemetry gauge, not an allocator. */
+    int64_t accountedBytes_ = 0;
 };
 
 } // namespace lrd

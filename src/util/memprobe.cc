@@ -1,0 +1,111 @@
+#include "memprobe.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace lrd {
+
+namespace {
+
+/** "VmRSS:    123 kB" -> bytes; -1 when the key is not this line. */
+int64_t
+parseStatusLine(const char *line, const char *key)
+{
+    const size_t keyLen = std::strlen(key);
+    if (std::strncmp(line, key, keyLen) != 0)
+        return -1;
+    long long kb = 0;
+    if (std::sscanf(line + keyLen, " %lld", &kb) != 1)
+        return -1;
+    return static_cast<int64_t>(kb) * 1024;
+}
+
+struct ArenaCounters
+{
+    std::atomic<int64_t> allocCount{0};
+    std::atomic<int64_t> allocBytes{0};
+    std::atomic<int64_t> freedBytes{0};
+    std::atomic<int64_t> liveBytes{0};
+    std::atomic<int64_t> peakLiveBytes{0};
+};
+
+ArenaCounters &
+arena()
+{
+    // Leaked: tensors owned by function-local statics (the model
+    // cache) destruct after main, and their accounting must still
+    // find live counters.
+    static ArenaCounters *c = new ArenaCounters;
+    return *c;
+}
+
+} // namespace
+
+ProcMemSample
+sampleProcMem()
+{
+    ProcMemSample out;
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (!f)
+        return out;
+    char line[256];
+    while (std::fgets(line, sizeof(line), f)) {
+        int64_t v = parseStatusLine(line, "VmRSS:");
+        if (v >= 0)
+            out.rssBytes = v;
+        v = parseStatusLine(line, "VmHWM:");
+        if (v >= 0)
+            out.peakRssBytes = v;
+        if (out.rssBytes > 0 && out.peakRssBytes > 0)
+            break;
+    }
+    std::fclose(f);
+    return out;
+}
+
+void
+tensorArenaRecordAlloc(int64_t bytes)
+{
+    ArenaCounters &c = arena();
+    c.allocCount.fetch_add(1, std::memory_order_relaxed);
+    c.allocBytes.fetch_add(bytes, std::memory_order_relaxed);
+    const int64_t live =
+        c.liveBytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    int64_t peak = c.peakLiveBytes.load(std::memory_order_relaxed);
+    while (live > peak
+           && !c.peakLiveBytes.compare_exchange_weak(
+               peak, live, std::memory_order_relaxed))
+        ;
+}
+
+void
+tensorArenaRecordFree(int64_t bytes)
+{
+    ArenaCounters &c = arena();
+    c.freedBytes.fetch_add(bytes, std::memory_order_relaxed);
+    c.liveBytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+TensorArenaStats
+tensorArenaStats()
+{
+    ArenaCounters &c = arena();
+    TensorArenaStats out;
+    out.allocCount = c.allocCount.load(std::memory_order_relaxed);
+    out.allocBytes = c.allocBytes.load(std::memory_order_relaxed);
+    out.freedBytes = c.freedBytes.load(std::memory_order_relaxed);
+    out.liveBytes = c.liveBytes.load(std::memory_order_relaxed);
+    out.peakLiveBytes = c.peakLiveBytes.load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+tensorArenaResetPeakForTest()
+{
+    ArenaCounters &c = arena();
+    c.peakLiveBytes.store(c.liveBytes.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+}
+
+} // namespace lrd

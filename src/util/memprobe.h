@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Process memory accounting for the flight recorder: an OS-level RSS
+ * probe and the tensor-arena byte counters.
+ *
+ * Two complementary views of memory:
+ *
+ * - sampleProcMem() reads /proc/self/status (VmRSS / VmHWM) — what
+ *   the kernel actually charges the process, including code, stacks,
+ *   allocator slack, and the model cache. Zeroes on non-Linux hosts.
+ * - The tensor arena counters track bytes owned by live Tensor
+ *   objects. Tensor's constructors and destructor (src/tensor/) call
+ *   tensorArenaRecordAlloc/Free; the counters live here in util
+ *   (layer 0) so the telemetry sampler in src/obs/ (layer 1) can read
+ *   them without an obs → tensor layering back-edge.
+ *
+ * All counters are relaxed atomics: cheap enough to leave always-on
+ * (one fetch_add per Tensor construction — construction itself is an
+ * O(n) zero-fill), and safe to read from the sampler thread. The peak
+ * is maintained with a CAS loop on the allocation path only.
+ */
+
+#ifndef LRD_UTIL_MEMPROBE_H
+#define LRD_UTIL_MEMPROBE_H
+
+#include <cstdint>
+
+namespace lrd {
+
+/** Kernel-reported process memory at one instant. */
+struct ProcMemSample
+{
+    int64_t rssBytes = 0;     ///< VmRSS: current resident set.
+    int64_t peakRssBytes = 0; ///< VmHWM: resident-set high-water mark.
+};
+
+/** Read /proc/self/status; all-zero when unreadable (non-Linux). */
+ProcMemSample sampleProcMem();
+
+/** Cumulative + live byte accounting of Tensor storage. */
+struct TensorArenaStats
+{
+    int64_t allocCount = 0;    ///< Tensors ever constructed.
+    int64_t allocBytes = 0;    ///< Cumulative bytes allocated.
+    int64_t freedBytes = 0;    ///< Cumulative bytes released.
+    int64_t liveBytes = 0;     ///< allocBytes - freedBytes.
+    int64_t peakLiveBytes = 0; ///< High-water mark of liveBytes.
+};
+
+/** Record `bytes` entering the arena (Tensor construction). */
+void tensorArenaRecordAlloc(int64_t bytes);
+
+/** Record `bytes` leaving the arena (Tensor destruction). */
+void tensorArenaRecordFree(int64_t bytes);
+
+/** Coherent-enough snapshot of the counters (relaxed loads). */
+TensorArenaStats tensorArenaStats();
+
+/** Reset the peak to the current live level (tests). */
+void tensorArenaResetPeakForTest();
+
+} // namespace lrd
+
+#endif // LRD_UTIL_MEMPROBE_H

@@ -152,6 +152,26 @@ TEST(LintThread, PoolAndWorkerLaneAreExempt)
     EXPECT_FALSE(lintSnippet("src/model/linear.cc", snippet).empty());
 }
 
+TEST(LintThread, TelemetrySamplerNeedsExplicitAnnotation)
+{
+    // The flight-recorder sampler thread lives in src/obs/, which is
+    // NOT a threading-exempt module: without the allow annotation the
+    // rule fires, so every sampler-style thread remains a reviewed,
+    // documented exception rather than a blanket exemption.
+    const auto flagged = lintSnippet("src/obs/sampler.cc", R"(
+        void start() { std::thread worker(samplerMain); }
+    )");
+    ASSERT_TRUE(hasRule(flagged, kRuleThread));
+
+    const auto annotated = lintSnippet("src/obs/sampler.cc", R"(
+        void start() {
+            // lrd-lint: allow(thread-outside-parallel)
+            std::thread worker(samplerMain);
+        }
+    )");
+    EXPECT_FALSE(hasRule(annotated, kRuleThread));
+}
+
 // ---------------------------------------------------------------- globals
 
 TEST(LintGlobals, FlagsMutableNamespaceScopeVariable)

@@ -17,12 +17,17 @@
  *   lrdtool dse [flags]                   checkpointed Definition-1
  *                                         sweep on the tiny stand-in
  *   lrdtool faults                        fault-injection site table
+ *   lrdtool monitor <file> [--follow]     per-phase summary of a
+ *                                         flight-recorder JSONL file
+ *   lrdtool compare <runA> <runB>         metric-by-metric diff of
+ *                                         two flight-recorder runs
  *
  * Presets: llama2-7b, llama2-70b, bert-base, bert-large, tiny-llama,
  * tiny-bert.
  *
- * Environment: LRD_THREADS, LRD_LOG, LRD_TRACE, LRD_STATS, LRD_ROBUST,
- * LRD_FAULT, LRD_DEADLINE, LRD_WATCHDOG (see usage()).
+ * Environment: LRD_THREADS, LRD_LOG, LRD_TRACE, LRD_STATS,
+ * LRD_TELEMETRY, LRD_ROBUST, LRD_FAULT, LRD_DEADLINE, LRD_WATCHDOG
+ * (see usage()).
  *
  * Exit codes (see README.md): 0 ok, 1 error, 2 degraded past the
  * failure budget, 3 cancelled (SIGINT/SIGTERM), 4 deadline exceeded,
@@ -30,11 +35,15 @@
  * with the POSIX 128+signo code.
  */
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "decomp/tucker.h"
@@ -45,6 +54,7 @@
 #include "eval/evaluator.h"
 #include "hw/opcount.h"
 #include "hw/roofline.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -56,7 +66,9 @@
 #include "tensor/simd/simd.h"
 #include "train/model_zoo.h"
 #include "train/trainer.h"
+#include "util/json.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 using namespace lrd;
 
@@ -301,6 +313,19 @@ cmdStats(double percent)
     const EvalResult r = ev.run(allBenchmarks().front());
     inform(strCat("stats: scored ", r.numTasks, " items (accuracy ",
                   r.accuracy, ")"));
+    const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+    TablePrinter quantiles("Histogram quantiles");
+    quantiles.setHeader({"histogram", "count", "p50", "p90", "p99"});
+    for (const auto &[name, hs] : snap.histograms) {
+        if (hs.count == 0)
+            continue;
+        quantiles.addRow({name, std::to_string(hs.count),
+                          TablePrinter::num(hs.p50(), 1),
+                          TablePrinter::num(hs.p90(), 1),
+                          TablePrinter::num(hs.p99(), 1)});
+    }
+    if (quantiles.rowCount() > 0)
+        quantiles.print();
     // With LRD_STATS set, flushObservability() writes the registry;
     // printing here too would emit the JSON twice.
     if (obsStatsPath().empty())
@@ -399,6 +424,345 @@ cmdDse(const Flags &flags)
     return exitCodeForStatus(r.status);
 }
 
+/** One flight-recorder file, split by record type. */
+struct TelemetryFile
+{
+    bool hasManifest = false;
+    RunManifest manifest;
+    std::vector<JsonValue> samples;
+    bool hasFinal = false;
+    JsonValue finalRecord;
+};
+
+Result<std::string>
+readFileText(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return Status(StatusCode::NotFound, "telemetry.read",
+                      strCat("cannot open ", path));
+    std::string text;
+    char buf[4096];
+    size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    return text;
+}
+
+/**
+ * Load a telemetry JSONL file. A truncated final line (the record a
+ * kill cut off mid-append) is tolerated; any earlier corruption is an
+ * error.
+ */
+Result<TelemetryFile>
+loadTelemetryFile(const std::string &path)
+{
+    Result<std::string> text = readFileText(path);
+    if (!text.ok())
+        return text.status();
+    Result<std::vector<JsonValue>> records =
+        parseJsonLines(text.value(), /*stopAtError=*/true);
+    if (!records.ok())
+        return records.status();
+    TelemetryFile tf;
+    for (JsonValue &rec : records.value()) {
+        const std::string type = rec.stringOr("type", "");
+        if (type == "manifest" && !tf.hasManifest) {
+            Result<RunManifest> m = manifestFromJson(rec);
+            if (m.ok()) {
+                tf.manifest = std::move(m).value();
+                tf.hasManifest = true;
+            }
+        } else if (type == "sample") {
+            tf.samples.push_back(std::move(rec));
+        } else if (type == "final") {
+            tf.finalRecord = std::move(rec);
+            tf.hasFinal = true;
+        }
+    }
+    if (!tf.hasManifest)
+        return Status(StatusCode::DataLoss, "telemetry.read",
+                      strCat(path, ": no manifest record (not a "
+                                   "flight-recorder file?)"));
+    return tf;
+}
+
+void
+printManifestSummary(const RunManifest &m)
+{
+    std::printf("run %s  (git %s, %s build)\n", m.runId.c_str(),
+                m.gitSha.c_str(), m.buildType.c_str());
+    std::printf("  cpu %s  simd %s  threads %d\n", m.cpuModel.c_str(),
+                m.simdLevel.c_str(), m.threads);
+    if (!m.commandLine.empty())
+        std::printf("  cmd %s\n", m.commandLine.c_str());
+}
+
+/** Per-phase rollup of a run's samples. */
+int
+printPhaseTable(const TelemetryFile &tf)
+{
+    struct PhaseAgg
+    {
+        int64_t samples = 0;
+        int64_t durMs = 0;
+        int64_t macs = 0;
+        int64_t rssMax = 0;
+        int64_t arenaPeak = 0;
+    };
+    std::vector<std::pair<std::string, PhaseAgg>> phases;
+    int64_t prevT = 0;
+    for (const JsonValue &s : tf.samples) {
+        std::string label = s.stringOr("phase", "");
+        if (label.empty())
+            label = "(idle)";
+        auto it = std::find_if(phases.begin(), phases.end(),
+                               [&](const auto &p) {
+                                   return p.first == label;
+                               });
+        if (it == phases.end()) {
+            phases.push_back({label, {}});
+            it = std::prev(phases.end());
+        }
+        PhaseAgg &agg = it->second;
+        const int64_t t = s.intOr("t_ms", prevT);
+        agg.samples++;
+        agg.durMs += t - prevT;
+        prevT = t;
+        if (const JsonValue *macs =
+                s.findPath({"counters", "gemm.macs"}))
+            agg.macs += macs->asInt();
+        agg.rssMax = std::max(agg.rssMax, s.intOr("rss_bytes", 0));
+        agg.arenaPeak =
+            std::max(agg.arenaPeak, s.intOr("arena_peak_bytes", 0));
+    }
+    TablePrinter table("Per-phase telemetry");
+    table.setHeader({"phase", "samples", "time (s)", "MACs (G)",
+                     "G MACs/s", "RSS max (MB)", "arena peak (MB)"});
+    for (const auto &[label, agg] : phases) {
+        const double sec = static_cast<double>(agg.durMs) / 1e3;
+        const double gmacs = static_cast<double>(agg.macs) / 1e9;
+        table.addRow({label, std::to_string(agg.samples),
+                      TablePrinter::num(sec, 2),
+                      TablePrinter::num(gmacs, 2),
+                      TablePrinter::num(sec > 0.0 ? gmacs / sec : 0.0, 2),
+                      TablePrinter::num(
+                          static_cast<double>(agg.rssMax) / 1e6, 1),
+                      TablePrinter::num(
+                          static_cast<double>(agg.arenaPeak) / 1e6, 1)});
+    }
+    table.print();
+    if (tf.hasFinal)
+        std::printf("final: %lld samples over %.2f s (%lld rotations)\n",
+                    static_cast<long long>(
+                        tf.finalRecord.intOr("samples", 0)),
+                    static_cast<double>(tf.finalRecord.intOr("t_ms", 0))
+                        / 1e3,
+                    static_cast<long long>(
+                        tf.finalRecord.intOr("rotations", 0)));
+    else
+        std::printf("(no final record: run still live or killed "
+                    "mid-write)\n");
+    return 0;
+}
+
+/**
+ * Summarize a flight-recorder file. With --follow, poll a live run
+ * until its final record lands (or the file stops growing for 10 s),
+ * echoing one status line per new sample batch.
+ */
+int
+cmdMonitor(const std::string &path, bool follow)
+{
+    if (follow) {
+        size_t lastSize = 0;
+        size_t lastCount = 0;
+        Timer sinceGrowth;
+        for (;;) {
+            Result<std::string> text = readFileText(path);
+            if (text.ok() && text.value().size() != lastSize) {
+                lastSize = text.value().size();
+                sinceGrowth.reset();
+            }
+            Result<TelemetryFile> tf =
+                text.ok() ? loadTelemetryFile(path)
+                          : Result<TelemetryFile>(text.status());
+            if (tf.ok()) {
+                const TelemetryFile &t = tf.value();
+                if (t.samples.size() != lastCount) {
+                    lastCount = t.samples.size();
+                    const JsonValue &s = t.samples.back();
+                    std::printf("t=%8.2fs  phase=%-10s rss=%7.1f MB  "
+                                "samples=%zu\n",
+                                static_cast<double>(s.intOr("t_ms", 0))
+                                    / 1e3,
+                                s.stringOr("phase", "(idle)").c_str(),
+                                static_cast<double>(
+                                    s.intOr("rss_bytes", 0))
+                                    / 1e6,
+                                t.samples.size());
+                }
+                if (t.hasFinal)
+                    break;
+            }
+            if (sinceGrowth.elapsedMillis() > 10000.0) {
+                warn(strCat("monitor: ", path,
+                            " stopped growing; giving up on --follow"));
+                break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(200));
+        }
+    }
+    Result<TelemetryFile> tf = loadTelemetryFile(path);
+    if (!tf.ok()) {
+        std::fprintf(stderr, "%s\n", tf.status().toString().c_str());
+        return 1;
+    }
+    printManifestSummary(tf.value().manifest);
+    return printPhaseTable(tf.value());
+}
+
+/** "+12.3%" delta cell; "n/a" when the baseline is zero. */
+std::string
+deltaCell(double a, double b)
+{
+    if (a == 0.0)
+        return b == 0.0 ? "0.0%" : "n/a";
+    const double pct = 100.0 * (b - a) / a;
+    return strCat(pct >= 0.0 ? "+" : "", TablePrinter::num(pct, 1), "%");
+}
+
+/** Ordered union of the member names of two JSON objects. */
+std::vector<std::string>
+memberNameUnion(const JsonValue *a, const JsonValue *b)
+{
+    std::vector<std::string> names;
+    for (const JsonValue *obj : {a, b}) {
+        if (!obj || !obj->isObject())
+            continue;
+        for (const auto &[name, value] : obj->members()) {
+            static_cast<void>(value);
+            if (std::find(names.begin(), names.end(), name)
+                == names.end())
+                names.push_back(name);
+        }
+    }
+    return names;
+}
+
+/**
+ * Diff two flight-recorder runs: manifest provenance side by side,
+ * then cumulative counters / gauges / histogram quantiles from the
+ * final records.
+ */
+int
+cmdCompare(const std::string &pathA, const std::string &pathB)
+{
+    Result<TelemetryFile> ra = loadTelemetryFile(pathA);
+    Result<TelemetryFile> rb = loadTelemetryFile(pathB);
+    if (!ra.ok() || !rb.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     (!ra.ok() ? ra.status() : rb.status())
+                         .toString()
+                         .c_str());
+        return 1;
+    }
+    const TelemetryFile &a = ra.value();
+    const TelemetryFile &b = rb.value();
+
+    TablePrinter manifest("Run manifests");
+    manifest.setHeader({"field", "A", "B"});
+    const RunManifest &ma = a.manifest;
+    const RunManifest &mb = b.manifest;
+    manifest.addRow({"runId", ma.runId, mb.runId});
+    manifest.addRow({"gitSha", ma.gitSha, mb.gitSha});
+    manifest.addRow({"buildType", ma.buildType, mb.buildType});
+    manifest.addRow({"simdLevel", ma.simdLevel, mb.simdLevel});
+    manifest.addRow({"threads", std::to_string(ma.threads),
+                     std::to_string(mb.threads)});
+    manifest.addRow({"commandLine", ma.commandLine, mb.commandLine});
+    // Env rows only where the two runs disagree.
+    std::map<std::string, std::pair<std::string, std::string>> env;
+    for (const auto &[name, value] : ma.env)
+        env[name].first = value;
+    for (const auto &[name, value] : mb.env)
+        env[name].second = value;
+    for (const auto &[name, values] : env)
+        if (values.first != values.second)
+            manifest.addRow({name, values.first, values.second});
+    manifest.print();
+
+    if (!a.hasFinal || !b.hasFinal) {
+        std::printf("\n(%s lacks a final record; metric diff needs "
+                    "completed runs)\n",
+                    !a.hasFinal ? pathA.c_str() : pathB.c_str());
+        return 1;
+    }
+    const JsonValue &fa = a.finalRecord;
+    const JsonValue &fb = b.finalRecord;
+
+    TablePrinter totals("Run totals");
+    totals.setHeader({"metric", "A", "B", "delta"});
+    const double ta = static_cast<double>(fa.intOr("t_ms", 0)) / 1e3;
+    const double tb = static_cast<double>(fb.intOr("t_ms", 0)) / 1e3;
+    totals.addRow({"wall time (s)", TablePrinter::num(ta, 2),
+                   TablePrinter::num(tb, 2), deltaCell(ta, tb)});
+    for (const char *key : {"rss_peak_bytes", "arena_peak_bytes"}) {
+        const double va = static_cast<double>(fa.intOr(key, 0));
+        const double vb = static_cast<double>(fb.intOr(key, 0));
+        totals.addRow({strCat(key, " (MB)"),
+                       TablePrinter::num(va / 1e6, 1),
+                       TablePrinter::num(vb / 1e6, 1),
+                       deltaCell(va, vb)});
+    }
+    for (const std::string &name :
+         memberNameUnion(fa.find("counters"), fb.find("counters"))) {
+        const JsonValue *ca = fa.findPath({"counters", name});
+        const JsonValue *cb = fb.findPath({"counters", name});
+        const int64_t va = ca ? ca->asInt() : 0;
+        const int64_t vb = cb ? cb->asInt() : 0;
+        totals.addRow({name, std::to_string(va), std::to_string(vb),
+                       deltaCell(static_cast<double>(va),
+                                 static_cast<double>(vb))});
+    }
+    for (const std::string &name :
+         memberNameUnion(fa.find("gauges"), fb.find("gauges"))) {
+        const JsonValue *ga = fa.findPath({"gauges", name});
+        const JsonValue *gb = fb.findPath({"gauges", name});
+        const double va = ga ? ga->asNumber() : 0.0;
+        const double vb = gb ? gb->asNumber() : 0.0;
+        totals.addRow({name, TablePrinter::num(va),
+                       TablePrinter::num(vb), deltaCell(va, vb)});
+    }
+    totals.print();
+
+    const std::vector<std::string> histNames =
+        memberNameUnion(fa.find("hist"), fb.find("hist"));
+    if (!histNames.empty()) {
+        TablePrinter hist("Histogram quantiles");
+        hist.setHeader({"histogram", "A p50", "B p50", "d p50",
+                        "A p99", "B p99", "d p99"});
+        for (const std::string &name : histNames) {
+            const JsonValue *ha = fa.findPath({"hist", name});
+            const JsonValue *hb = fb.findPath({"hist", name});
+            const double p50a = ha ? ha->numberOr("p50", 0.0) : 0.0;
+            const double p50b = hb ? hb->numberOr("p50", 0.0) : 0.0;
+            const double p99a = ha ? ha->numberOr("p99", 0.0) : 0.0;
+            const double p99b = hb ? hb->numberOr("p99", 0.0) : 0.0;
+            hist.addRow({name, TablePrinter::num(p50a, 1),
+                         TablePrinter::num(p50b, 1),
+                         deltaCell(p50a, p50b),
+                         TablePrinter::num(p99a, 1),
+                         TablePrinter::num(p99b, 1),
+                         deltaCell(p99a, p99b)});
+        }
+        hist.print();
+    }
+    return 0;
+}
+
 /** Markdown table of every compiled-in fault-injection site. */
 int
 cmdFaults()
@@ -426,6 +790,9 @@ usage()
         "  train [--steps=N] [--ckpt=FILE] [--every=N] [--resume]\n"
         "  dse   [--tasks=N] [--ckpt=FILE] [--every=N] [--resume]\n"
         "  faults                        fault-injection site table\n"
+        "  monitor <file> [--follow]     per-phase summary of a\n"
+        "                                flight-recorder JSONL file\n"
+        "  compare <runA> <runB>         diff two flight-recorder runs\n"
         "environment:\n"
         "  LRD_THREADS=<n>     thread-pool size (default: all cores)\n"
         "  LRD_LOG=<level>[+ts]  debug|info|warn|error; +ts adds\n"
@@ -434,6 +801,10 @@ usage()
         "                      <file>.summary.csv) on exit\n"
         "  LRD_STATS=<file>    write metrics-registry JSON on exit\n"
         "                      ('-' = stdout)\n"
+        "  LRD_TELEMETRY=<ms>[:path]\n"
+        "                      flight recorder: sample counters/RSS/\n"
+        "                      quantiles every <ms> into a JSONL file\n"
+        "                      (default lrd_telemetry.jsonl)\n"
         "  LRD_ROBUST=<mode>   strict | degrade[:budget] |\n"
         "                      retry[:attempts[:budget]]\n"
         "                      (default degrade:0.1)\n"
@@ -471,6 +842,22 @@ main(int argc, char **argv)
         // emits its lane marker even for purely analytic commands.
         if (Tracer::enabled())
             ThreadPool::instance();
+        {
+            // Stamp runtime facts into the run manifest before the
+            // sampler captures it. The command line doubles as the
+            // run's label in `lrdtool compare`. Only a telemetry run
+            // pays for materializing the pool here; analytic commands
+            // without LRD_TELEMETRY stay thread-free.
+            std::string cmdline;
+            for (int i = 0; i < argc; ++i)
+                cmdline += strCat(i ? " " : "", argv[i]);
+            const int threads = obsTelemetryPath().empty()
+                                    ? hardwareConcurrency()
+                                    : ThreadPool::instance().numThreads();
+            setManifestRuntimeInfo(
+                simd::levelName(simd::activeLevel()), threads, cmdline);
+        }
+        startTelemetryFromEnv();
 
         int ret = -1;
         if (cmd == "info" && argc >= 3)
@@ -495,8 +882,15 @@ main(int argc, char **argv)
             ret = cmdDse(Flags::parse(argc, argv, 2));
         else if (cmd == "faults")
             ret = cmdFaults();
+        else if (cmd == "monitor" && argc >= 3)
+            ret = cmdMonitor(argv[2],
+                             argc >= 4
+                                 && std::strcmp(argv[3], "--follow")
+                                        == 0);
+        else if (cmd == "compare" && argc >= 4)
+            ret = cmdCompare(argv[2], argv[3]);
         if (ret >= 0) {
-            flushObservability();
+            shutdownFlush();
             stopWatchdog();
             return ret;
         }
@@ -504,12 +898,12 @@ main(int argc, char **argv)
         // Structured failures (failure budget, corrupt checkpoints)
         // map to their documented exit codes.
         std::fprintf(stderr, "%s\n", e.what());
-        flushObservability();
+        shutdownFlush();
         stopWatchdog();
         return exitCodeForStatus(e.status());
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
-        flushObservability();
+        shutdownFlush();
         stopWatchdog();
         return 1;
     }
