@@ -52,6 +52,14 @@ tinyBertBytes()
     return bytes;
 }
 
+void
+applyOrDie(const DecompConfig &gamma, TransformerModel &model)
+{
+    const Status st = gamma.applyTo(model);
+    if (!st.ok())
+        fatal("bench: applyTo rejected the configuration: " + st.toString());
+}
+
 std::vector<double>
 evaluateSuite(TransformerModel &model, int numTasks, uint64_t seed)
 {

@@ -38,6 +38,11 @@ GenerationWorkload paperWorkload();
 const std::vector<uint8_t> &tinyLlamaBytes();
 const std::vector<uint8_t> &tinyBertBytes();
 
+/** Apply a decomposition config, aborting the bench on failure: a
+ *  rejected configuration is a bug in the sweep construction, not a
+ *  measurable data point, so there is nothing sensible to record. */
+void applyOrDie(const DecompConfig &gamma, TransformerModel &model);
+
 /** Evaluate the full suite and return accuracies in benchmark order. */
 std::vector<double> evaluateSuite(TransformerModel &model,
                                   int numTasks = kEvalTasks,

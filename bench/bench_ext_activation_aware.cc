@@ -9,6 +9,7 @@
 #include "dse/activation_aware.h"
 #include "dse/schedules.h"
 #include "train/corpus.h"
+#include "util/logging.h"
 
 using namespace lrd;
 
@@ -34,13 +35,16 @@ main()
 
         TransformerModel plain =
             TransformerModel::deserialize(bench::tinyLlamaBytes());
-        gamma.applyTo(plain);
+        bench::applyOrDie(gamma, plain);
         const double plainAcc =
             bench::meanAccuracy(bench::evaluateSuite(plain));
 
         TransformerModel aware =
             TransformerModel::deserialize(bench::tinyLlamaBytes());
-        applyActivationAware(aware, gamma, calib);
+        const Status aw = applyActivationAware(aware, gamma, calib);
+        if (!aw.ok())
+            fatal("bench: activation-aware factorization failed: " +
+                  aw.toString());
         const double awareAcc =
             bench::meanAccuracy(bench::evaluateSuite(aware));
 

@@ -42,7 +42,7 @@ main()
             TransformerModel::deserialize(bench::tinyLlamaBytes());
         const DecompConfig gamma = DecompConfig::allTensors(
             cfg, spreadSchedule(static_cast<int>(cfg.nLayers), count), 1);
-        gamma.applyTo(model);
+        bench::applyOrDie(gamma, model);
         const double size = 1.0 - gamma.parameterReduction(cfg);
         t.addRow({"low-rank (Tucker)",
                   std::to_string(count) + " layers, pr=1",

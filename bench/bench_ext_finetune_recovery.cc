@@ -35,7 +35,7 @@ main()
             TransformerModel::deserialize(bench::tinyLlamaBytes());
         const DecompConfig g = DecompConfig::allTensors(
             cfg, spreadSchedule(static_cast<int>(cfg.nLayers), 1), 1);
-        g.applyTo(m);
+        bench::applyOrDie(g, m);
         shallowAcc = bench::meanAccuracy(bench::evaluateSuite(m));
         t.addRow({"decomposed (1 layer)",
                   bench::pct(g.parameterReduction(cfg)),
@@ -47,7 +47,7 @@ main()
         TransformerModel::deserialize(bench::tinyLlamaBytes());
     const DecompConfig gDeep = DecompConfig::allTensors(
         cfg, spreadSchedule(static_cast<int>(cfg.nLayers), 2), 1);
-    gDeep.applyTo(deep);
+    bench::applyOrDie(gDeep, deep);
     const double beforeAcc =
         bench::meanAccuracy(bench::evaluateSuite(deep));
     t.addRow({"decomposed (2 layers), no recovery",

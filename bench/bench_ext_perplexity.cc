@@ -35,7 +35,7 @@ main()
                       spreadSchedule(static_cast<int>(cfg.nLayers),
                                      count),
                       1);
-        gamma.applyTo(model);
+        bench::applyOrDie(gamma, model);
         TrainOptions opts;
         opts.seqLen = 64;
         Trainer probe(model, defaultWorld(), opts);

@@ -105,7 +105,7 @@ main()
         const DecompConfig gamma = DecompConfig::allTensors(
             tiny, spreadSchedule(static_cast<int>(tiny.nLayers), count),
             1);
-        gamma.applyTo(model);
+        bench::applyOrDie(gamma, model);
         (void)measureCpuLatency(model); // warm-up
         const double sec = measureCpuLatency(model);
         m.addRow({bench::pct(gamma.parameterReduction(tiny)),

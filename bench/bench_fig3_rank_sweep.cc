@@ -44,7 +44,7 @@ main()
                 TransformerModel::deserialize(bench::tinyLlamaBytes());
             const DecompConfig gamma =
                 DecompConfig::allTensors(cfg, layers, pr);
-            gamma.applyTo(model);
+            bench::applyOrDie(gamma, model);
             const auto accs = bench::evaluateSuite(model);
 
             std::vector<std::string> row = {

@@ -40,7 +40,7 @@ runPanel(const char *title, const std::vector<uint8_t> &bytes,
             TransformerModel model = TransformerModel::deserialize(bytes);
             const DecompConfig gamma = DecompConfig::oneTensor(
                 kind, everyLayer ? allLayers : std::vector<int>{mid}, 1);
-            gamma.applyTo(model);
+            bench::applyOrDie(gamma, model);
             const double acc = bench::meanAccuracy(
                 bench::evaluateSuite(model, evalTasks));
             t.addRow({weightKindName(kind),

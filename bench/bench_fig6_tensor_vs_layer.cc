@@ -24,7 +24,7 @@ accuracyUnder(const DecompConfig &gamma)
 {
     TransformerModel model =
         TransformerModel::deserialize(bench::tinyLlamaBytes());
-    gamma.applyTo(model);
+    bench::applyOrDie(gamma, model);
     return bench::meanAccuracy(bench::evaluateSuite(model));
 }
 

@@ -32,7 +32,7 @@ main()
             TransformerModel::deserialize(bench::tinyLlamaBytes());
         const DecompConfig gamma =
             DecompConfig::allTensors(cfg, {layer}, 1);
-        gamma.applyTo(model);
+        bench::applyOrDie(gamma, model);
         const double acc =
             bench::meanAccuracy(bench::evaluateSuite(model));
         t.addRow({std::to_string(layer), bench::pct(acc),

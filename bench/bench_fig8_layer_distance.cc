@@ -30,7 +30,8 @@ suiteMean(const std::vector<int> &layers)
 {
     TransformerModel model =
         TransformerModel::deserialize(bench::tinyLlamaBytes());
-    DecompConfig::allTensors(tinyLlamaConfig(), layers, 1).applyTo(model);
+    bench::applyOrDie(
+        DecompConfig::allTensors(tinyLlamaConfig(), layers, 1), model);
     return bench::meanAccuracy(bench::evaluateSuite(model));
 }
 

@@ -43,7 +43,7 @@ main()
                       spreadSchedule(static_cast<int>(cfg.nLayers),
                                      count),
                       1);
-        gamma.applyTo(model);
+        bench::applyOrDie(gamma, model);
         const auto accs = bench::evaluateSuite(model);
         std::vector<std::string> row = {
             bench::pct(gamma.parameterReduction(cfg))};

@@ -46,7 +46,8 @@ main()
 
     TransformerModel compressed =
         TransformerModel::deserialize(dense.serialize());
-    gamma.applyTo(compressed);
+    if (!gamma.applyTo(compressed).ok())
+        return 1;
 
     std::printf("\nparams: %lld -> %lld\n",
                 static_cast<long long>(dense.paramCount()),

@@ -54,7 +54,8 @@ main()
     Tensor x = Tensor::randn({4, w}, lrng);
     Tensor before = layer.forward(x);
     const int64_t denseCount = layer.paramCount();
-    layer.factorize(16);
+    if (!layer.factorize(16).ok())
+        return 1;
     Tensor after = layer.forward(x);
     std::printf("\nLinear layer factorized at pr=16: params %lld -> %lld, "
                 "output rel.err=%.4f\n",

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Verify lrd-lint's incremental cache: a cold run populates the cache,
+# a warm run must hit it for every file (zero re-parses) and produce a
+# byte-identical SARIF report.
+#
+# Usage: check_lint_cache.sh <lrd-lint-binary> <repo-root>
+set -euo pipefail
+
+LINT=${1:?usage: check_lint_cache.sh <lrd-lint> <root>}
+ROOT=${2:?usage: check_lint_cache.sh <lrd-lint> <root>}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+run() {
+    # Findings exit 1; only usage/I/O errors (2) are fatal here.
+    local out=$1 sarif=$2
+    set +e
+    "$LINT" --root "$ROOT" --baseline tools/lint/baseline.txt \
+        --cache-dir "$work/cache" --sarif "$sarif" >"$out" 2>&1
+    local rc=$?
+    set -e
+    if [ "$rc" -ge 2 ]; then
+        echo "lrd-lint failed (exit $rc):"
+        cat "$out"
+        exit 1
+    fi
+}
+
+run "$work/cold.log" "$work/cold.sarif"
+grep -E 'cache [0-9]+ hit' "$work/cold.log" || {
+    echo "missing cache counters in cold run:"; cat "$work/cold.log"; exit 1;
+}
+if ! grep -q 'cache 0 hit(s)' "$work/cold.log"; then
+    echo "cold run unexpectedly hit a fresh cache:"; cat "$work/cold.log"
+    exit 1
+fi
+
+run "$work/warm.log" "$work/warm.sarif"
+if ! grep -q ' 0 miss(es)' "$work/warm.log"; then
+    echo "warm run re-parsed files it should have cached:"
+    cat "$work/warm.log"
+    exit 1
+fi
+
+if ! cmp -s "$work/cold.sarif" "$work/warm.sarif"; then
+    echo "warm-cache SARIF differs from cold run:"
+    diff "$work/cold.sarif" "$work/warm.sarif" | head -50
+    exit 1
+fi
+
+echo "lint cache OK: warm run had 0 misses and byte-identical SARIF"

@@ -139,7 +139,9 @@ hooi(const Tensor &t, const std::vector<int64_t> &ranks,
     // Attempt 0 replays the failure already in hand; later attempts
     // re-run HOI from a reseeded random initialization so the retry
     // sequence depends only on (opts.seed, attempt index).
-    retryWithReseed(opts.seed, policy.maxRetries + 1,
+    // The outcome is folded into cur.status by the lambda; the
+    // returned copy carries no extra information.
+    (void)retryWithReseed(opts.seed, policy.maxRetries + 1,
                     [&](Rng &rng, int attempt) -> Status {
                         if (attempt == 0)
                             return cur.status;

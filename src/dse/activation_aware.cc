@@ -60,7 +60,7 @@ calibrateActivationScales(TransformerModel &model,
     return scales;
 }
 
-void
+Status
 applyActivationAware(TransformerModel &model, const DecompConfig &gamma,
                      const std::vector<TokenSeq> &calibrationDocs)
 {
@@ -68,9 +68,13 @@ applyActivationAware(TransformerModel &model, const DecompConfig &gamma,
         calibrateActivationScales(model, gamma, calibrationDocs);
     for (const PrunedRankEntry &e : gamma.prunedRanks()) {
         const auto key = std::make_pair(e.layer, static_cast<int>(e.kind));
-        model.linear(e.layer, e.kind)
-            .factorizeActivationAware(e.rank, scales.at(key));
+        const Status st = model.linear(e.layer, e.kind)
+                              .factorizeActivationAware(e.rank,
+                                                        scales.at(key));
+        if (!st.ok())
+            return st;
     }
+    return Status();
 }
 
 } // namespace lrd

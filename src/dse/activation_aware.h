@@ -33,11 +33,12 @@ ActivationScales calibrateActivationScales(
 /**
  * Apply gamma with activation-aware factorization: calibrate on the
  * given documents, then factorize each selected tensor with its
- * scales.
+ * scales. Returns the first factorization failure; the model may be
+ * partially factorized in that case.
  */
-void applyActivationAware(TransformerModel &model,
-                          const DecompConfig &gamma,
-                          const std::vector<TokenSeq> &calibrationDocs);
+Status applyActivationAware(TransformerModel &model,
+                            const DecompConfig &gamma,
+                            const std::vector<TokenSeq> &calibrationDocs);
 
 } // namespace lrd
 

@@ -35,7 +35,7 @@ scoreWithPolicy(const Body &body)
     pollCancelFault("eval.item");
     if (cancelRequested())
         return cancelStatus("eval.item");
-    takeNumericFault(); // Drop any stale note from a previous item.
+    (void)takeNumericFault(); // Drop any stale note from a previous item.
     const RobustPolicy policy = robustPolicy();
     const int attempts =
         policy.mode == RobustMode::Retry ? policy.maxRetries + 1 : 1;
@@ -263,6 +263,7 @@ Evaluator::forEachItemParallel(int64_t n, const Fn &fn)
             // Each worker index is owned by exactly one live thread,
             // so lazy slot initialization is race-free.
             if (!replicas[w])
+                // lrd-lint: allow(hot-path-alloc) per-worker model replica: one allocation per worker per run
                 replicas[w] = std::make_unique<TransformerModel>(
                     TransformerModel::deserialize(snapshot));
             m = replicas[w].get();

@@ -55,7 +55,7 @@ struct TraceState
 TraceState &
 state()
 {
-    static TraceState *s = new TraceState;
+    static TraceState *s = new TraceState; // lrd-lint: allow(hot-path-alloc) lazy singleton
     return *s;
 }
 
@@ -71,12 +71,13 @@ acquireBuffer()
         pool.pop_back();
         return b;
     }
+    // lrd-lint: allow(hot-path-alloc) one ring per lane: built on first use, pooled and reused after
     auto b = std::make_unique<TraceBuffer>();
     b->lane = lane;
     b->seq = s.nextSeq++;
-    b->ring.resize(kRingCapacity);
+    b->ring.resize(kRingCapacity); // lrd-lint: allow(hot-path-alloc) first use per lane
     TraceBuffer *raw = b.get();
-    s.buffers.push_back(std::move(b));
+    s.buffers.push_back(std::move(b)); // lrd-lint: allow(hot-path-alloc) first use per lane
     return raw;
 }
 
@@ -107,9 +108,9 @@ std::vector<TraceBuffer *>
 orderedBuffers(TraceState &s)
 {
     std::vector<TraceBuffer *> ordered;
-    ordered.reserve(s.buffers.size());
+    ordered.reserve(s.buffers.size()); // lrd-lint: allow(hot-path-alloc) export path
     for (const auto &b : s.buffers)
-        ordered.push_back(b.get());
+        ordered.push_back(b.get()); // lrd-lint: allow(hot-path-alloc) export path
     std::sort(ordered.begin(), ordered.end(),
               [](const auto *a, const auto *b) {
                   return a->lane != b->lane ? a->lane < b->lane

@@ -127,6 +127,7 @@ blockedGemm(const float *a, int64_t lda, bool transA, const float *b,
 
             parallelFor(0, rowChunks, 1, [&](int64_t c0, int64_t c1) {
                 thread_local std::vector<float> apack;
+                // lrd-lint: allow(hot-path-alloc) thread_local scratch: sized on each thread's first chunk, reused after
                 apack.resize(static_cast<size_t>(kRowChunk * kc));
                 for (int64_t rc = c0; rc < c1; ++rc) {
                     const int64_t ic = rc * kRowChunk;

@@ -31,6 +31,7 @@ stagePass(const float *a, int64_t lda, int64_t m, const PackedMat &b,
     const int64_t rowPanels = (m + kRowChunk - 1) / kRowChunk;
     parallelFor(0, rowPanels, 1, [&](int64_t lo, int64_t hi) {
         thread_local std::vector<float> apack;
+        // lrd-lint: allow(hot-path-alloc) thread_local scratch: sized on each thread's first panel, reused after
         apack.resize(static_cast<size_t>(kRowChunk * kKc));
         for (int64_t panel = lo; panel < hi; ++panel) {
             const int64_t r0 = panel * kRowChunk;
@@ -88,9 +89,9 @@ fusedFactorizedForward(const float *x, int64_t m, int64_t in, int64_t pr,
         thread_local std::vector<float> apack;
         thread_local std::vector<float> t1;
         thread_local std::vector<float> t2;
-        apack.resize(static_cast<size_t>(kRowChunk * kKc));
-        t1.resize(static_cast<size_t>(kRowChunk * pr));
-        t2.resize(static_cast<size_t>(kRowChunk * pr));
+        apack.resize(static_cast<size_t>(kRowChunk * kKc)); // lrd-lint: allow(hot-path-alloc) thread_local, first panel only
+        t1.resize(static_cast<size_t>(kRowChunk * pr)); // lrd-lint: allow(hot-path-alloc) thread_local, first panel only
+        t2.resize(static_cast<size_t>(kRowChunk * pr)); // lrd-lint: allow(hot-path-alloc) thread_local, first panel only
         for (int64_t panel = lo; panel < hi; ++panel) {
             const int64_t r0 = panel * kRowChunk;
             const int64_t mc = std::min(kRowChunk, m - r0);

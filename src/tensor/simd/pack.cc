@@ -71,14 +71,15 @@ packMatrixB(const float *b, int64_t k, int64_t n, bool trans)
     packed.n = n;
     const int64_t nPad = (n + kNr - 1) / kNr * kNr;
     const int64_t numSlabs = (k + kKc - 1) / kKc;
+    // lrd-lint: allow(hot-path-alloc) packing allocates once per GEMM call, ahead of the panel loops
     packed.slabOffset.reserve(static_cast<size_t>(numSlabs));
-    packed.slabKc.reserve(static_cast<size_t>(numSlabs));
-    packed.data.resize(static_cast<size_t>(nPad * k));
+    packed.slabKc.reserve(static_cast<size_t>(numSlabs)); // lrd-lint: allow(hot-path-alloc) see above
+    packed.data.resize(static_cast<size_t>(nPad * k)); // lrd-lint: allow(hot-path-alloc) see above
     int64_t offset = 0;
     for (int64_t pc = 0; pc < k; pc += kKc) {
         const int64_t kc = std::min(kKc, k - pc);
-        packed.slabOffset.push_back(offset);
-        packed.slabKc.push_back(kc);
+        packed.slabOffset.push_back(offset); // lrd-lint: allow(hot-path-alloc) see above
+        packed.slabKc.push_back(kc); // lrd-lint: allow(hot-path-alloc) see above
         packBPanels(b, trans ? k : n, trans, pc, 0, kc, n,
                     packed.data.data() + offset);
         offset += nPad * kc;

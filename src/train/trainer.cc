@@ -187,9 +187,11 @@ Trainer::run()
     std::vector<std::unique_ptr<TransformerModel>> replicas;
     if (numWorkers > 1) {
         const std::vector<uint8_t> snapshot = model_.serialize();
+        // lrd-lint: allow(hot-path-alloc) per-worker replicas: sized once per run, before the epoch loop
         replicas.resize(static_cast<size_t>(pool.numThreads()));
         for (int w = 1; w < pool.numThreads(); ++w)
             replicas[static_cast<size_t>(w)] =
+                // lrd-lint: allow(hot-path-alloc) per-worker replica, once per run
                 std::make_unique<TransformerModel>(
                     TransformerModel::deserialize(snapshot));
     }
@@ -262,7 +264,7 @@ Trainer::run()
                 // non-finite loss) marks the item's fixed slot, and
                 // retry re-runs the item in place — injected faults
                 // are consumed by their counters, so a retry clears.
-                takeNumericFault();
+                (void)takeNumericFault();
                 const RobustPolicy policy = robustPolicy();
                 const int attempts =
                     policy.mode == RobustMode::Retry

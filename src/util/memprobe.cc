@@ -36,7 +36,7 @@ arena()
     // Leaked: tensors owned by function-local statics (the model
     // cache) destruct after main, and their accounting must still
     // find live counters.
-    static ArenaCounters *c = new ArenaCounters;
+    static ArenaCounters *c = new ArenaCounters; // lrd-lint: allow(hot-path-alloc) lazy singleton
     return *c;
 }
 

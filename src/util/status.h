@@ -75,7 +75,7 @@ statusCodeName(StatusCode code)
  * a string literal or other static-duration string — Status stores
  * the pointer, not a copy, so the ok path stays heap-free.
  */
-class Status
+class [[nodiscard]] Status
 {
   public:
     /** Ok status; no allocation. */
@@ -147,7 +147,7 @@ throwStatus(Status status)
  * default-constructible (the error arm holds a default T).
  */
 template <typename T>
-class Result
+class [[nodiscard]] Result
 {
   public:
     /*implicit*/ Result(T value) : value_(std::move(value)) {}

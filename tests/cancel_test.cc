@@ -40,7 +40,7 @@ struct CancelGuard
     {
         clearFaults();
         setRobustPolicy(RobustPolicy{});
-        takeNumericFault();
+        (void)takeNumericFault();
         clearCancelRequest();
         clearDeadline();
         resetSignalsForTest();
@@ -157,6 +157,17 @@ TEST(Deadline, ParsesAllThreeFlavors)
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(r.value().kind, DeadlineKind::Wall);
     EXPECT_DOUBLE_EQ(r.value().wallSeconds, 1.5);
+}
+
+TEST(Deadline, CurrentReflectsArmAndClear)
+{
+    Result<Deadline> r = parseDeadline("steps:5");
+    ASSERT_TRUE(r.ok());
+    setDeadline(r.value());
+    EXPECT_EQ(currentDeadline().kind, DeadlineKind::Steps);
+    EXPECT_EQ(currentDeadline().budget, 5);
+    clearDeadline();
+    EXPECT_EQ(currentDeadline().kind, DeadlineKind::None);
 }
 
 TEST(Deadline, RejectsMalformedSpecs)

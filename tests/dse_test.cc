@@ -86,7 +86,7 @@ TEST(DecompConfig, ParamArithmeticMatchesModel)
     DecompConfig gamma = DecompConfig::allTensors(cfg, {0}, 1);
     TransformerModel model(cfg, 3);
     const int64_t before = model.paramCount();
-    gamma.applyTo(model);
+    ASSERT_TRUE(gamma.applyTo(model).ok());
     const int64_t after = model.paramCount();
     EXPECT_EQ(before - after,
               gamma.paramsBefore(cfg) - gamma.paramsAfter(cfg));

@@ -218,6 +218,16 @@ TEST(Evaluator, BertPathRunsAndIsDeterministic)
     const EvalResult b = ev.run(BenchmarkKind::ArcEasy);
     EXPECT_EQ(a.numCorrect, b.numCorrect);
     EXPECT_EQ(a.numTasks, 15);
+
+    // The per-item PLL entry point must be deterministic too and pick
+    // a valid choice index.
+    const auto tasks = makeMcTasks(BenchmarkKind::ArcEasy, w, 5, 21);
+    for (const McTask &t : tasks) {
+        const int pick = ev.pickChoiceBert(t);
+        EXPECT_GE(pick, 0);
+        EXPECT_LT(pick, static_cast<int>(t.choices.size()));
+        EXPECT_EQ(ev.pickChoiceBert(t), pick);
+    }
 }
 
 TEST(Evaluator, RunAllCoversEveryBenchmark)

@@ -279,6 +279,14 @@ INSTANTIATE_TEST_SUITE_P(
 /** The fused inference path must agree with the unfused three-matmul
  *  chain: same factors, same input, tolerance for the different
  *  blocking/contraction order. */
+TEST(SimdDispatch, PerLevelLookupMatchesDispatchTable)
+{
+    // The parity-test lookup must agree with what dispatch actually
+    // installed for the running level.
+    EXPECT_EQ(simd::microKernelForLevel(simd::activeLevel()),
+              simd::activeKernels().microKernel);
+}
+
 TEST(FusedFactorizedForward, MatchesUnfusedWithinTolerance)
 {
     Rng rng(23);

@@ -94,7 +94,7 @@ TEST(Integration, DecompositionAtFullRankPreservesAccuracy)
     // Full-rank factorization is (numerically) lossless.
     DecompConfig gamma =
         DecompConfig::allTensors(cfg, {1, 2}, cfg.dModel);
-    gamma.applyTo(model);
+    ASSERT_TRUE(gamma.applyTo(model).ok());
     const double after = ev.run(BenchmarkKind::ArcEasy).accuracy;
     EXPECT_NEAR(before, after, 0.05);
 }
@@ -109,7 +109,7 @@ TEST(Integration, Rank1EverythingDegradesTowardChance)
         all.push_back(l);
     TransformerModel dense =
         TransformerModel::deserialize(trainedBytes());
-    DecompConfig::allTensors(cfg, all, 1).applyTo(model);
+    ASSERT_TRUE(DecompConfig::allTensors(cfg, all, 1).applyTo(model).ok());
     // Rank-1 everywhere must cost real language-model quality. (On
     // this deliberately tiny test world the MC accuracies are too
     // coarse to be a reliable probe, so held-out loss is the signal.)
@@ -124,7 +124,7 @@ TEST(Integration, DecomposedModelStillGeneratesAndScores)
 {
     TransformerModel model =
         TransformerModel::deserialize(trainedBytes());
-    DecompConfig::allTensors(model.config(), {0, 2}, 2).applyTo(model);
+    ASSERT_TRUE(DecompConfig::allTensors(model.config(), {0, 2}, 2).applyTo(model).ok());
     const TokenSeq out = greedyGenerate(model, {1, 12, 4}, 5, -1);
     EXPECT_LE(out.size(), 5U);
     const double ll = scoreContinuation(model, {1, 12}, {4});
@@ -189,7 +189,7 @@ TEST(Integration, FineTuningRecoversFactorizedAccuracy)
     Trainer probe(model, smallWorld(), t);
     const double denseLoss = probe.evalLoss(8);
 
-    DecompConfig::allTensors(model.config(), {1, 2}, 2).applyTo(model);
+    ASSERT_TRUE(DecompConfig::allTensors(model.config(), {1, 2}, 2).applyTo(model).ok());
     const double decomposedLoss = probe.evalLoss(8);
     EXPECT_GT(decomposedLoss, denseLoss); // decomposition hurts
 
@@ -207,7 +207,7 @@ TEST(Integration, OpCountMatchesLiveModelForDecomposedConfig)
         TransformerModel::deserialize(trainedBytes());
     const ModelConfig cfg = model.config();
     const DecompConfig gamma = DecompConfig::allTensors(cfg, {0, 3}, 1);
-    gamma.applyTo(model);
+    ASSERT_TRUE(gamma.applyTo(model).ok());
     EXPECT_EQ(transformerWeightBytes(cfg, gamma, 4),
               model.paramCount() * 4);
 }

@@ -132,7 +132,7 @@ TEST(LayerGrad, LinearFactorized)
 {
     Rng rng(4);
     Linear lin(8, 10, false, "t", rng);
-    lin.factorize(3);
+    ASSERT_TRUE(lin.factorize(3).ok());
     Tensor x = Tensor::randn({5, 10}, rng);
     checkModuleGradients(
         [&](const Tensor &in) { return lin.forward(in); },
@@ -295,8 +295,8 @@ TEST(ActivationAware, UnitScalesMatchPlainFactorization)
     Linear plain(10, 12, false, "t", rngA);
     Rng rngB(14);
     Linear aware(10, 12, false, "t", rngB);
-    plain.factorize(2);
-    aware.factorizeActivationAware(2, std::vector<float>(12, 1.0F));
+    ASSERT_TRUE(plain.factorize(2).ok());
+    ASSERT_TRUE(aware.factorizeActivationAware(2, std::vector<float>(12, 1.0F)).ok());
     Tensor x = Tensor::randn({4, 12}, rngA);
     EXPECT_LT(relativeError(plain.forward(x), aware.forward(x)), 1e-4);
 }
@@ -327,12 +327,12 @@ TEST(ActivationAware, ReducesWeightedReconstructionError)
     Rng rngA(16);
     Linear plain(16, 16, false, "t", rngA);
     plain.weight().value = w;
-    plain.factorize(1);
+    ASSERT_TRUE(plain.factorize(1).ok());
 
     Rng rngB(16);
     Linear aware(16, 16, false, "t", rngB);
     aware.weight().value = w;
-    aware.factorizeActivationAware(1, s);
+    ASSERT_TRUE(aware.factorizeActivationAware(1, s).ok());
 
     EXPECT_LT(scaledError(aware.effectiveWeight()),
               scaledError(plain.effectiveWeight()));
@@ -343,10 +343,10 @@ TEST(ActivationAware, RejectsBadScales)
     Rng rng(17);
     Linear lin(4, 4, false, "t", rng);
     EXPECT_THROW(
-        lin.factorizeActivationAware(1, {1.0F, 1.0F}), // wrong size
+        (void)lin.factorizeActivationAware(1, {1.0F, 1.0F}), // wrong size
         std::runtime_error);
     EXPECT_THROW(
-        lin.factorizeActivationAware(1, {1.0F, 0.0F, 1.0F, 1.0F}),
+        (void)lin.factorizeActivationAware(1, {1.0F, 0.0F, 1.0F, 1.0F}),
         std::runtime_error);
 }
 
@@ -357,7 +357,7 @@ TEST(ActivationAware, EndToEndOnModel)
     const DecompConfig gamma =
         DecompConfig::allTensors(cfg, {0}, 2);
     std::vector<TokenSeq> calib = {{1, 2, 3, 4, 5}, {5, 4, 3, 2, 1}};
-    applyActivationAware(model, gamma, calib);
+    ASSERT_TRUE(applyActivationAware(model, gamma, calib).ok());
     EXPECT_TRUE(model.anyFactorized());
     Tensor logits = model.forward({1, 2, 3});
     EXPECT_TRUE(logits.allFinite());
@@ -367,7 +367,7 @@ TEST(ActivationAware, CalibrationRequiresDenseModel)
 {
     ModelConfig cfg = testLlamaConfig();
     TransformerModel model(cfg, 19);
-    model.applyTucker(0, WeightKind::Query, 1);
+    ASSERT_TRUE(model.applyTucker(0, WeightKind::Query, 1).ok());
     const DecompConfig gamma = DecompConfig::allTensors(cfg, {0}, 1);
     std::vector<TokenSeq> calib = {{1, 2, 3}};
     EXPECT_THROW(calibrateActivationScales(model, gamma, calib),
@@ -378,7 +378,7 @@ TEST(InstallFactorShape, MatchesFactorizeLayout)
 {
     Rng rngA(20);
     Linear a(6, 8, false, "t", rngA);
-    a.factorize(2);
+    ASSERT_TRUE(a.factorize(2).ok());
     Rng rngB(20);
     Linear b(6, 8, false, "t", rngB);
     b.installFactorShape(2);

@@ -15,7 +15,10 @@
 
 #include <gtest/gtest.h>
 
+#include "cache.h"
 #include "lint.h"
+#include "output.h"
+#include "parser.h"
 
 namespace lrd::lint {
 namespace {
@@ -429,7 +432,7 @@ TEST(LintLayering, SystemIncludesAreOutsideTheGraph)
 
 TEST(LintFormat, HumanAndFixListFormats)
 {
-    const Diagnostic d{"src/a.cc", 7, "banned-random", "no rand()"};
+    const Diagnostic d{"src/a.cc", 7, "banned-random", "no rand()", ""};
     EXPECT_EQ("src/a.cc:7: [banned-random] no rand()", formatDiagnostic(d));
     EXPECT_EQ("src/a.cc\t7\tbanned-random\tno rand()", formatFixList(d));
 }
@@ -503,6 +506,411 @@ void f() {
 }
 )");
     EXPECT_FALSE(hasRule(diags, kRuleIntrinsics));
+}
+
+// ---------------------------------------------------------- hot-path-alloc
+
+TEST(LintHotPath, TransitiveAllocationFromFusedForwardPrintsPath)
+{
+    const std::vector<SourceFile> tree = {
+        {"src/model/fuse.cc", R"(
+namespace lrd {
+void growScratch(std::vector<float> &v) { v.push_back(0.0F); }
+void fusedFactorizedForward(std::vector<float> &v) { growScratch(v); }
+} // namespace lrd
+)"},
+    };
+    const auto diags = lintFiles(tree);
+    const Diagnostic *d = findRule(diags, kRuleHotPathAlloc);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ("src/model/fuse.cc", d->file);
+    EXPECT_NE(d->message.find("reachable via:"), std::string::npos);
+    EXPECT_NE(d->message.find("growScratch"), std::string::npos);
+    EXPECT_NE(d->message.find("fusedFactorizedForward"),
+              std::string::npos);
+}
+
+TEST(LintHotPath, ChunkBodyAllocationIsFlagged)
+{
+    const auto diags = lintFiles({{"src/eval/items.cc", R"(
+namespace lrd {
+void scoreAll(long n) {
+    parallelFor(0, n, 1, [&](long lo, long hi) {
+        float *scratch = new float[8];
+        delete[] scratch;
+    });
+}
+} // namespace lrd
+)"}});
+    const Diagnostic *d = findRule(diags, kRuleHotPathAlloc);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("new"), std::string::npos);
+}
+
+TEST(LintHotPath, ConduitMakesCallbackCallersHot)
+{
+    // forEachItem feeds its parameter into a chunk body, so a lambda
+    // handed to forEachItem from another file runs hot too.
+    const std::vector<SourceFile> tree = {
+        {"src/eval/driver.cc", R"(
+namespace lrd {
+template <class Fn>
+void forEachItem(long n, const Fn &fn) {
+    parallelFor(0, n, 1, [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i)
+            fn(i);
+    });
+}
+} // namespace lrd
+)"},
+        {"src/eval/user.cc", R"(
+namespace lrd {
+void runAll(std::vector<int> &sink) {
+    forEachItem(8, [&](long i) { sink.push_back(static_cast<int>(i)); });
+}
+} // namespace lrd
+)"},
+    };
+    const auto diags = lintFiles(tree);
+    const Diagnostic *d = findRule(diags, kRuleHotPathAlloc);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ("src/eval/user.cc", d->file);
+    // The reachability chain crosses into the conduit's file.
+    EXPECT_NE(d->message.find("reachable via:"), std::string::npos);
+    EXPECT_NE(d->message.find("src/eval/driver.cc"), std::string::npos);
+}
+
+TEST(LintHotPath, AllowCommentAndColdCodeAreClean)
+{
+    // The allow() escape on the preceding line suppresses the hit,
+    // and an allocating function nobody hot calls is not flagged.
+    const auto diags = lintFiles({{"src/eval/items.cc", R"(
+namespace lrd {
+void scoreAll(long n) {
+    parallelFor(0, n, 1, [&](long lo, long hi) {
+        // lrd-lint: allow(hot-path-alloc) test fixture
+        float *scratch = new float[8];
+        delete[] scratch;
+    });
+}
+void coldSetup(std::vector<float> &v) { v.reserve(64); }
+} // namespace lrd
+)"}});
+    EXPECT_FALSE(hasRule(diags, kRuleHotPathAlloc));
+}
+
+// --------------------------------------------------------- lock-discipline
+
+TEST(LintLock, UnknownMutexNameInAnnotationIsFlagged)
+{
+    const auto diags = lintFiles({{"src/obs/state.cc", R"(
+namespace lrd {
+namespace {
+// lrd-lint: mutex(ghostMu)
+int gCount = 0;
+} // namespace
+} // namespace lrd
+)"}});
+    const Diagnostic *d = findRule(diags, kRuleLockDiscipline);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("ghostMu"), std::string::npos);
+    EXPECT_NE(d->message.find("not declared"), std::string::npos);
+}
+
+TEST(LintLock, WriteWithoutHoldingAnnotatedMutexIsFlagged)
+{
+    const auto diags = lintFiles({{"src/obs/state.cc", R"(
+namespace lrd {
+namespace {
+std::mutex gMu;
+// lrd-lint: mutex(gMu)
+int gCount = 0;
+} // namespace
+void bumpGuarded() {
+    std::lock_guard<std::mutex> l(gMu);
+    gCount = 1;
+}
+void bumpRacy() { gCount = 2; }
+} // namespace lrd
+)"}});
+    const Diagnostic *d = findRule(diags, kRuleLockDiscipline);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("bumpRacy"), std::string::npos);
+    EXPECT_NE(d->message.find("without acquiring"), std::string::npos);
+    // The guarded writer must not be reported.
+    for (const Diagnostic &x : diags) {
+        if (x.rule == kRuleLockDiscipline) {
+            EXPECT_EQ(x.message.find("bumpGuarded"), std::string::npos);
+        }
+    }
+}
+
+TEST(LintLock, OppositeAcquisitionOrdersFormACycle)
+{
+    const std::vector<SourceFile> tree = {
+        {"src/obs/a.cc", R"(
+namespace lrd {
+namespace {
+std::mutex muA;
+std::mutex muB;
+} // namespace
+void lockForward() {
+    std::lock_guard<std::mutex> la(muA);
+    std::lock_guard<std::mutex> lb(muB);
+}
+} // namespace lrd
+)"},
+        {"src/obs/b.cc", R"(
+namespace lrd {
+namespace {
+std::mutex muA;
+std::mutex muB;
+} // namespace
+void lockBackward() {
+    std::lock_guard<std::mutex> lb(muB);
+    std::lock_guard<std::mutex> la(muA);
+}
+} // namespace lrd
+)"},
+    };
+    // Identical names in two files are distinct internal-linkage
+    // mutexes, so a cycle needs same-file opposing orders.
+    EXPECT_FALSE(hasRule(lintFiles(tree), kRuleLockDiscipline));
+
+    const auto diags = lintFiles({{"src/obs/a.cc", R"(
+namespace lrd {
+namespace {
+std::mutex muA;
+std::mutex muB;
+} // namespace
+void lockForward() {
+    std::lock_guard<std::mutex> la(muA);
+    std::lock_guard<std::mutex> lb(muB);
+}
+void lockBackward() {
+    std::lock_guard<std::mutex> lb(muB);
+    std::lock_guard<std::mutex> la(muA);
+}
+} // namespace lrd
+)"}});
+    const Diagnostic *d = findRule(diags, kRuleLockDiscipline);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("lock acquisition order cycle"),
+              std::string::npos);
+
+    // Acquisition order is statement order, not line order: two
+    // guards on one line still form the edge.
+    const auto oneLine = lintFiles({{"src/obs/a.cc", R"(
+namespace lrd {
+namespace {
+std::mutex muA;
+std::mutex muB;
+} // namespace
+void fwd() { std::lock_guard<std::mutex> a(muA); std::lock_guard<std::mutex> b(muB); }
+void bwd() { std::lock_guard<std::mutex> b(muB); std::lock_guard<std::mutex> a(muA); }
+} // namespace lrd
+)"}});
+    const Diagnostic *o = findRule(oneLine, kRuleLockDiscipline);
+    ASSERT_NE(o, nullptr);
+    EXPECT_NE(o->message.find("lock acquisition order cycle"),
+              std::string::npos);
+}
+
+TEST(LintLock, ConsistentOrderIsClean)
+{
+    const auto diags = lintFiles({{"src/obs/a.cc", R"(
+namespace lrd {
+namespace {
+std::mutex muA;
+std::mutex muB;
+} // namespace
+void first() {
+    std::lock_guard<std::mutex> la(muA);
+    std::lock_guard<std::mutex> lb(muB);
+}
+void second() {
+    std::lock_guard<std::mutex> la(muA);
+    std::lock_guard<std::mutex> lb(muB);
+}
+} // namespace lrd
+)"}});
+    EXPECT_FALSE(hasRule(diags, kRuleLockDiscipline));
+}
+
+// -------------------------------------------------------- unchecked-result
+
+TEST(LintUnchecked, DiscardedStatusReturnIsFlagged)
+{
+    const auto diags = lintFiles({{"src/decomp/apply.cc", R"(
+namespace lrd {
+Status applyStep(int k) { return Status(); }
+void run() { applyStep(3); }
+} // namespace lrd
+)"}});
+    const Diagnostic *d = findRule(diags, kRuleUncheckedResult);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("applyStep"), std::string::npos);
+    EXPECT_NE(d->message.find("discarded"), std::string::npos);
+}
+
+TEST(LintUnchecked, CheckedAndVoidCastCallsAreClean)
+{
+    const auto diags = lintFiles({{"src/decomp/apply.cc", R"(
+namespace lrd {
+Status applyStep(int k) { return Status(); }
+int plainValue() { return 4; }
+void run() {
+    const Status st = applyStep(3);
+    if (!st.ok())
+        return;
+    (void)applyStep(4);
+    plainValue();
+}
+} // namespace lrd
+)"}});
+    EXPECT_FALSE(hasRule(diags, kRuleUncheckedResult));
+}
+
+// --------------------------------------------------------------- fp-order
+
+TEST(LintFpOrder, CapturedAccumulationInChunkBodyIsFlagged)
+{
+    const auto diags = lintFiles({{"src/eval/reduce.cc", R"(
+namespace lrd {
+double sumAll(long n) {
+    double total = 0.0;
+    parallelFor(0, n, 1, [&](long lo, long hi) {
+        total += 1.0;
+    });
+    return total;
+}
+} // namespace lrd
+)"}});
+    const Diagnostic *d = findRule(diags, kRuleFpOrder);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("total"), std::string::npos);
+    EXPECT_NE(d->message.find("reorders"), std::string::npos);
+}
+
+TEST(LintFpOrder, ChunkLocalAndBlessedHelperAreClean)
+{
+    // A chunk-local accumulator is serial within its chunk, and the
+    // fixed-order reducers under src/parallel/ are exempt wholesale.
+    const std::string body = R"(
+namespace lrd {
+double sumAll(long n) {
+    double total = 0.0;
+    parallelFor(0, n, 1, [&](long lo, long hi) {
+        double part = 0.0;
+        for (long i = lo; i < hi; ++i)
+            part += 1.0;
+        consumePart(part);
+    });
+    return total;
+}
+} // namespace lrd
+)";
+    EXPECT_FALSE(hasRule(lintFiles({{"src/eval/reduce.cc", body}}),
+                         kRuleFpOrder));
+
+    const std::string captured = R"(
+namespace lrd {
+double sumAll(long n) {
+    double total = 0.0;
+    parallelFor(0, n, 1, [&](long lo, long hi) {
+        total += 1.0;
+    });
+    return total;
+}
+} // namespace lrd
+)";
+    EXPECT_FALSE(hasRule(lintFiles({{"src/parallel/reduce.cc", captured}}),
+                         kRuleFpOrder));
+}
+
+// ------------------------------------------------------------ dead-symbol
+
+TEST(LintDead, UnreferencedPublicFunctionIsFlagged)
+{
+    const auto diags = lintFiles({{"src/util/extra.cc", R"(
+namespace lrd {
+int orphanHelper() { return 1; }
+} // namespace lrd
+)"}});
+    const Diagnostic *d = findRule(diags, kRuleDeadSymbol);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("orphanHelper"), std::string::npos);
+}
+
+TEST(LintDead, ReferenceFromTestsCountsAsLive)
+{
+    const std::vector<SourceFile> tree = {
+        {"src/util/extra.cc", R"(
+namespace lrd {
+int orphanHelper() { return 1; }
+} // namespace lrd
+)"},
+        {"tests/extra_test.cc", R"(
+#include <gtest/gtest.h>
+TEST(Extra, Helper) { EXPECT_EQ(1, lrd::orphanHelper()); }
+)"},
+    };
+    EXPECT_FALSE(hasRule(lintFiles(tree), kRuleDeadSymbol));
+}
+
+// --------------------------------------------------- cache and reporters
+
+TEST(LintCache, SummaryRoundTripsThroughSerialization)
+{
+    const FileSummary sum = parseFile(
+        SourceFile{"src/obs/state.cc", R"(
+namespace lrd {
+namespace {
+std::mutex gMu;
+// lrd-lint: mutex(gMu)
+int gCount = 0;
+} // namespace
+Status bump() {
+    std::lock_guard<std::mutex> l(gMu);
+    gCount += 1;
+    return Status();
+}
+void all(long n) {
+    parallelFor(0, n, 1, [&](long lo, long hi) { bump(); });
+}
+} // namespace lrd
+)"},
+        "feedcafe");
+    const std::string wire = serializeSummary(sum);
+    FileSummary back;
+    ASSERT_TRUE(deserializeSummary(wire, back));
+    // Round-tripped summaries must analyze identically, which the
+    // re-serialization equality pins down field by field.
+    EXPECT_EQ(wire, serializeSummary(back));
+    EXPECT_EQ(sum.path, back.path);
+    EXPECT_EQ(sum.functions.size(), back.functions.size());
+}
+
+TEST(LintCache, DeserializeRejectsCorruptPayload)
+{
+    FileSummary out;
+    EXPECT_FALSE(deserializeSummary("not a summary", out));
+    EXPECT_FALSE(deserializeSummary("", out));
+}
+
+TEST(LintOutput, SarifAndJsonAreDeterministic)
+{
+    const std::vector<Diagnostic> diags = {
+        {"src/a.cc", 7, kRuleHotPathAlloc, "allocation (new) on the hot path", "f"},
+        {"src/b.cc", 9, kRuleDeadSymbol, "'g' has no in-tree reference", "g"},
+    };
+    const std::string sarif = toSarif(diags);
+    EXPECT_EQ(sarif, toSarif(diags));
+    EXPECT_NE(sarif.find("\"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find(kRuleHotPathAlloc), std::string::npos);
+    const std::string json = toJson(diags);
+    EXPECT_EQ(json, toJson(diags));
+    EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
 }
 
 } // namespace

@@ -97,7 +97,7 @@ TEST(Linear, FactorizeReducesParamsPerFormula)
     Linear l(24, 16, false, "t", rng);
     const int64_t dense = l.paramCount();
     EXPECT_EQ(dense, 24 * 16);
-    l.factorize(2);
+    ASSERT_TRUE(l.factorize(2).ok());
     EXPECT_TRUE(l.isFactorized());
     EXPECT_EQ(l.paramCount(), 24 * 2 + 2 * 2 + 2 * 16);
     EXPECT_LT(l.paramCount(), dense);
@@ -109,7 +109,7 @@ TEST(Linear, FullRankFactorizationPreservesOutput)
     Linear l(12, 10, false, "t", rng);
     Tensor x = Tensor::randn({5, 10}, rng);
     Tensor dense = l.forward(x);
-    l.factorize(10);
+    ASSERT_TRUE(l.factorize(10).ok());
     Tensor fact = l.forward(x);
     EXPECT_LT(relativeError(dense, fact), 1e-3);
 }
@@ -119,7 +119,7 @@ TEST(Linear, DensifyRoundTrip)
     Rng rng(3);
     Linear l(8, 8, false, "t", rng);
     Tensor w0 = l.weight().value;
-    l.factorize(8);
+    ASSERT_TRUE(l.factorize(8).ok());
     l.densify();
     EXPECT_LT(relativeError(w0, l.weight().value), 1e-4);
 }
@@ -135,7 +135,7 @@ TEST(Linear, FactorizedOutputErrorShrinksWithRank)
         Rng r2(4);
         Linear dense(16, 20, false, "t", r2);
         Tensor want = dense.forward(x);
-        l.factorize(pr);
+        ASSERT_TRUE(l.factorize(pr).ok());
         const double err = relativeError(want, l.forward(x));
         EXPECT_LE(err, prev + 1e-6) << "pr " << pr;
         prev = err;
@@ -147,7 +147,7 @@ TEST(Linear, WeightAccessorFatalWhenFactorized)
 {
     Rng rng(5);
     Linear l(4, 4, false, "t", rng);
-    l.factorize(1);
+    ASSERT_TRUE(l.factorize(1).ok());
     EXPECT_THROW(l.weight(), std::runtime_error);
     EXPECT_THROW(l.factorize(1), std::runtime_error);
 }
@@ -237,7 +237,7 @@ TEST(Model, KvCacheWorksWithFactorizedLayers)
     ModelConfig cfg = testLlamaConfig();
     TransformerModel m(cfg);
     for (WeightKind k : decomposableKinds(cfg.arch))
-        m.applyTucker(0, k, 2);
+        ASSERT_TRUE(m.applyTucker(0, k, 2).ok());
     Rng rng(11);
     TokenSeq toks = randomTokens(cfg, 6, rng);
     Tensor full = m.forward(toks);
@@ -284,8 +284,8 @@ TEST(Model, FactorizedSerializationRoundTrips)
 {
     ModelConfig cfg = testLlamaConfig();
     TransformerModel m(cfg, 42);
-    m.applyTucker(1, WeightKind::Gate, 2);
-    m.applyTucker(0, WeightKind::Query, 1);
+    ASSERT_TRUE(m.applyTucker(1, WeightKind::Gate, 2).ok());
+    ASSERT_TRUE(m.applyTucker(0, WeightKind::Query, 1).ok());
     const auto bytes = m.serialize();
     TransformerModel m2 = TransformerModel::deserialize(bytes);
     EXPECT_TRUE(m2.anyFactorized());
@@ -303,7 +303,7 @@ TEST(Model, ApplyTuckerReducesParamCount)
     ModelConfig cfg = testLlamaConfig();
     TransformerModel m(cfg);
     const int64_t before = m.paramCount();
-    m.applyTucker(0, WeightKind::Query, 1);
+    ASSERT_TRUE(m.applyTucker(0, WeightKind::Query, 1).ok());
     const int64_t after = m.paramCount();
     // Test config dModel = 16, pr = 1: dense 256 -> 16 + 1 + 16.
     EXPECT_EQ(before - after, 16 * 16 - (16 * 1 + 1 * 1 + 1 * 16));
@@ -462,8 +462,8 @@ TEST(GradCheckFactorized, AnalyticMatchesNumeric)
 {
     ModelConfig cfg = testLlamaConfig();
     TransformerModel m(cfg, 22);
-    m.applyTucker(0, WeightKind::Gate, 2);
-    m.applyTucker(1, WeightKind::Query, 2);
+    ASSERT_TRUE(m.applyTucker(0, WeightKind::Gate, 2).ok());
+    ASSERT_TRUE(m.applyTucker(1, WeightKind::Query, 2).ok());
     Rng rng(16);
     TokenSeq toks = randomTokens(cfg, 8, rng);
     std::vector<int> targets = shiftTargets(toks);

@@ -419,6 +419,16 @@ TEST(Logging, LevelFilteringAndPrefixes)
     EXPECT_NE(out.find("stamped"), std::string::npos);
 }
 
+TEST(Logging, TimestampToggleRoundTrips)
+{
+    const bool before = logTimestamps();
+    setLogTimestamps(true);
+    EXPECT_TRUE(logTimestamps());
+    setLogTimestamps(false);
+    EXPECT_FALSE(logTimestamps());
+    setLogTimestamps(before);
+}
+
 TEST(Logging, ParseLogSpec)
 {
     LogSpec spec = parseLogSpec("debug");

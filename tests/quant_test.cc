@@ -97,7 +97,7 @@ TEST(Quantize, FactorizedLayerRejected)
 {
     ModelConfig cfg = testLlamaConfig();
     TransformerModel m(cfg, 5);
-    m.applyTucker(0, WeightKind::Query, 1);
+    ASSERT_TRUE(m.applyTucker(0, WeightKind::Query, 1).ok());
     EXPECT_THROW(applyFakeQuantization(m, 8), std::runtime_error);
 }
 

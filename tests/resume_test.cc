@@ -39,7 +39,7 @@ struct RobustGuard
     {
         clearFaults();
         setRobustPolicy(RobustPolicy{});
-        takeNumericFault();
+        (void)takeNumericFault();
         // The cancel token is process-wide: a leftover request or
         // armed deadline would abort every later test immediately.
         clearCancelRequest();

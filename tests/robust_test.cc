@@ -45,7 +45,7 @@ struct RobustGuard
     {
         clearFaults();
         setRobustPolicy(RobustPolicy{});
-        takeNumericFault();
+        (void)takeNumericFault();
         // The cancel token is process-wide: a leftover request or
         // armed deadline would abort every later test immediately.
         clearCancelRequest();

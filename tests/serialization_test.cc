@@ -68,8 +68,8 @@ TEST(Serialization, ConfigRoundTripsExactly)
 TEST(Serialization, FactorizedManifestPreservesRanks)
 {
     TransformerModel m(testLlamaConfig(), 4);
-    m.applyTucker(0, WeightKind::Down, 3);
-    m.applyTucker(1, WeightKind::Key, 1);
+    ASSERT_TRUE(m.applyTucker(0, WeightKind::Down, 3).ok());
+    ASSERT_TRUE(m.applyTucker(1, WeightKind::Key, 1).ok());
     TransformerModel m2 = TransformerModel::deserialize(m.serialize());
     EXPECT_TRUE(m2.linear(0, WeightKind::Down).isFactorized());
     EXPECT_EQ(m2.linear(0, WeightKind::Down).prunedRank(), 3);
@@ -86,7 +86,7 @@ TEST(Serialization, FactorizedCheckpointIsSmallerProportionally)
     TransformerModel comp(testLlamaConfig(), 5);
     for (WeightKind k : decomposableKinds(Arch::LlamaStyle))
         for (int64_t l = 0; l < comp.numLayers(); ++l)
-            comp.applyTucker(l, k, 1);
+            ASSERT_TRUE(comp.applyTucker(l, k, 1).ok());
     const size_t compSize = comp.serialize().size();
     // Param counts predict the byte sizes (4 bytes per float + small
     // header/manifest overhead).
@@ -100,7 +100,7 @@ TEST(Serialization, FactorizedCheckpointIsSmallerProportionally)
 TEST(Serialization, DensifiedModelReadsBackAsDense)
 {
     TransformerModel m(testLlamaConfig(), 6);
-    m.applyTucker(0, WeightKind::Query, 2);
+    ASSERT_TRUE(m.applyTucker(0, WeightKind::Query, 2).ok());
     m.linear(0, WeightKind::Query).densify();
     TransformerModel m2 = TransformerModel::deserialize(m.serialize());
     EXPECT_FALSE(m2.anyFactorized());

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -191,6 +192,75 @@ TEST(Json, JsonLinesToleratesOnlyATruncatedTail)
             .ok());
 }
 
+TEST(Json, NestingDepthIsLimitedNotStackBound)
+{
+    // kMaxDepth = 64: containers may nest 64 deep below the root;
+    // one more must be a clean error, not a stack overflow.
+    const auto nested = [](int n) {
+        return std::string(static_cast<size_t>(n), '[')
+               + std::string(static_cast<size_t>(n), ']');
+    };
+    const Result<JsonValue> ok = parseJson(nested(65));
+    ASSERT_TRUE(ok.ok()) << ok.status().toString();
+    EXPECT_TRUE(ok.value().isArray());
+    const Result<JsonValue> deep = parseJson(nested(66));
+    ASSERT_FALSE(deep.ok());
+    EXPECT_NE(deep.status().message().find("nesting"), std::string::npos);
+}
+
+TEST(Json, EscapeHandlingAndMidEscapeTruncation)
+{
+    const Result<JsonValue> esc =
+        parseJson(R"("a\n\t\"\\\/\b\f\r")");
+    ASSERT_TRUE(esc.ok());
+    EXPECT_EQ(esc.value().asString(), "a\n\t\"\\/\b\f\r");
+
+    // \uXXXX passes through verbatim (documented non-decoding).
+    const Result<JsonValue> uni = parseJson("\"\\u0041\"");
+    ASSERT_TRUE(uni.ok());
+    EXPECT_EQ(uni.value().asString(), "\\u0041");
+
+    EXPECT_FALSE(parseJson(R"("bad \q escape")").ok());
+    // Input cut off in the middle of an escape sequence.
+    EXPECT_FALSE(parseJson("\"abc\\").ok());
+    EXPECT_FALSE(parseJson("\"abc").ok());
+}
+
+TEST(Json, NonAsciiBytesPassThroughUnvalidated)
+{
+    // The parser is byte-oriented: UTF-8 (valid or not) inside a
+    // string is preserved, not validated — callers own encoding.
+    const std::string utf8 = "\"caf\xC3\xA9\"";
+    const Result<JsonValue> ok = parseJson(utf8);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value().asString(), "caf\xC3\xA9");
+
+    const std::string mangled = "\"\xFF\xFE\"";
+    const Result<JsonValue> raw = parseJson(mangled);
+    ASSERT_TRUE(raw.ok());
+    EXPECT_EQ(raw.value().asString(), "\xFF\xFE");
+}
+
+TEST(Json, HugeAndTinyNumbersFollowStrtod)
+{
+    const Result<JsonValue> big = parseJson("[1e999, -1e999, 1e-999]");
+    ASSERT_TRUE(big.ok());
+    const auto &el = big.value().elements();
+    ASSERT_EQ(el.size(), 3U);
+    EXPECT_TRUE(el[0].isNumber());
+    EXPECT_TRUE(std::isinf(el[0].asNumber()));
+    EXPECT_TRUE(std::isinf(el[1].asNumber()));
+    EXPECT_LT(el[1].asNumber(), 0.0);
+    EXPECT_EQ(el[2].asNumber(), 0.0); // underflows to zero
+
+    const Result<JsonValue> b = parseJson("[true, false, 0]");
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(b.value().elements()[0].isBool());
+    EXPECT_TRUE(b.value().elements()[1].isBool());
+    EXPECT_FALSE(b.value().elements()[2].isBool());
+    EXPECT_FALSE(b.value().elements()[0].isNumber());
+}
+
 TEST(Manifest, RoundTripsThroughJson)
 {
     setManifestRuntimeInfo("avx512", 4, "lrdtool test run");
@@ -226,6 +296,19 @@ TEST(MemProbe, RssProbeIsSane)
     const ProcMemSample mem = sampleProcMem();
     EXPECT_GT(mem.rssBytes, 0);
     EXPECT_GE(mem.peakRssBytes, mem.rssBytes);
+}
+
+TEST(MemProbe, ResetPeakDropsToLiveLevel)
+{
+    {
+        Tensor scratch({128, 128});
+        (void)scratch;
+    }
+    EXPECT_GE(tensorArenaStats().peakLiveBytes,
+              tensorArenaStats().liveBytes);
+    tensorArenaResetPeakForTest();
+    EXPECT_EQ(tensorArenaStats().peakLiveBytes,
+              tensorArenaStats().liveBytes);
 }
 
 TEST(MemProbe, ArenaTracksTensorLifetimes)

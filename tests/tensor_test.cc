@@ -94,6 +94,20 @@ TEST(Tensor, AllFiniteDetectsNanInf)
     EXPECT_FALSE(t.allFinite());
 }
 
+TEST(Tensor, RanduStaysInRangeAndIsSeedDeterministic)
+{
+    Rng a(7);
+    Tensor x = Tensor::randu({256}, a, -0.5F, 2.0F);
+    for (int64_t i = 0; i < x.size(); ++i) {
+        EXPECT_GE(x[i], -0.5F);
+        EXPECT_LT(x[i], 2.0F);
+    }
+    Rng b(7);
+    const Tensor y = Tensor::randu({256}, b, -0.5F, 2.0F);
+    for (int64_t i = 0; i < y.size(); ++i)
+        EXPECT_EQ(x[i], y[i]);
+}
+
 TEST(Tensor, RandnStatistics)
 {
     Rng rng(5);

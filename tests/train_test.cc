@@ -12,6 +12,7 @@
 
 #include "train/adam.h"
 #include "train/corpus.h"
+#include "train/model_zoo.h"
 #include "train/trainer.h"
 #include "train/world.h"
 
@@ -256,6 +257,7 @@ TEST(Adam, ConvergesOnQuadratic)
     opts.lr = 0.05;
     opts.weightDecay = 0.0;
     AdamW adam({&p}, opts);
+    EXPECT_EQ(adam.stepCount(), 0);
     for (int step = 0; step < 400; ++step) {
         p.zeroGrad();
         for (int64_t i = 0; i < 4; ++i)
@@ -264,6 +266,12 @@ TEST(Adam, ConvergesOnQuadratic)
     }
     for (int64_t i = 0; i < 4; ++i)
         EXPECT_NEAR(p.value[i], target[static_cast<size_t>(i)], 0.05);
+    EXPECT_EQ(adam.stepCount(), 400);
+}
+
+TEST(ModelZoo, UnknownPresetIsFatal)
+{
+    EXPECT_THROW(pretrainedModel("llama2-7b"), std::runtime_error);
 }
 
 TEST(Adam, ClippingBoundsUpdateMagnitude)

@@ -1,0 +1,77 @@
+#include "baseline.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lrd::lint {
+
+std::string
+baselineKey(const Diagnostic &d)
+{
+    return d.rule + "\t" + d.file + "\t" + d.symbol;
+}
+
+Baseline
+parseBaseline(const std::string &content)
+{
+    Baseline out;
+    std::istringstream iss(content);
+    std::string line;
+    while (std::getline(iss, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        // Key = first three tab-separated columns.
+        size_t tabs = 0, end = line.size();
+        for (size_t i = 0; i < line.size(); ++i) {
+            if (line[i] == '\t' && ++tabs == 3) {
+                end = i;
+                break;
+            }
+        }
+        if (tabs < 2)
+            continue; // malformed: fewer than three columns
+        out.keys.insert(line.substr(0, end));
+    }
+    return out;
+}
+
+std::vector<Diagnostic>
+applyBaseline(const std::vector<Diagnostic> &diags,
+              const Baseline &baseline, size_t *suppressed)
+{
+    std::vector<Diagnostic> live;
+    size_t hits = 0;
+    for (const Diagnostic &d : diags) {
+        if (baseline.keys.count(baselineKey(d)))
+            ++hits;
+        else
+            live.push_back(d);
+    }
+    if (suppressed)
+        *suppressed = hits;
+    return live;
+}
+
+std::string
+renderBaseline(const std::vector<Diagnostic> &diags)
+{
+    std::vector<std::string> lines;
+    lines.reserve(diags.size());
+    for (const Diagnostic &d : diags)
+        lines.push_back(baselineKey(d) + "\tTODO: justify or fix");
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+
+    std::ostringstream oss;
+    oss << "# lrd-lint baseline: grandfathered findings.\n"
+        << "# Format: rule<TAB>file<TAB>symbol<TAB>justification.\n"
+        << "# Every entry needs a justification; fix-and-remove is\n"
+        << "# always preferred over adding entries.\n";
+    for (const std::string &l : lines)
+        oss << l << "\n";
+    return oss.str();
+}
+
+} // namespace lrd::lint

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Incremental parse cache: FileSummary records keyed by content hash.
+ *
+ * The per-file phase (lex + token rules + declaration parse) is the
+ * expensive part of a lint run and depends only on one file's bytes,
+ * so its result is content-addressed: the cache entry for a file
+ * lives at <cache-dir>/<sha256(relative-path)>.sum and embeds the
+ * SHA-256 of the contents it was parsed from. A hit requires both
+ * the path and the content hash to match; any edit changes the hash
+ * and forces a re-parse of exactly that file.
+ *
+ * The serialization is a line-oriented text format that round-trips
+ * every analysis-relevant field, which is what makes warm-cache runs
+ * produce byte-identical reports (asserted by a ctest).
+ */
+
+#ifndef LRD_TOOLS_LINT_CACHE_H
+#define LRD_TOOLS_LINT_CACHE_H
+
+#include <string>
+
+#include "parser.h"
+
+namespace lrd::lint {
+
+/** Hit/miss counters for one run (reported on stdout). */
+struct CacheStats
+{
+    size_t hits = 0;
+    size_t misses = 0;
+};
+
+/** Serialize a summary (deterministic, self-describing). */
+std::string serializeSummary(const FileSummary &sum);
+
+/** Parse a serialized summary; false on version/shape mismatch. */
+bool deserializeSummary(const std::string &data, FileSummary &out);
+
+/**
+ * Load the cached summary for `relPath` if it matches `contentSha`.
+ * Returns false (a miss) when absent, stale, or unreadable.
+ */
+bool cacheLoad(const std::string &cacheDir, const std::string &relPath,
+               const std::string &contentSha, FileSummary &out);
+
+/** Persist a summary (sum.path / sum.sha identify the entry). */
+void cacheStore(const std::string &cacheDir, const FileSummary &sum);
+
+} // namespace lrd::lint
+
+#endif // LRD_TOOLS_LINT_CACHE_H

@@ -28,10 +28,18 @@
 
 #include "lexer.h"
 #include "lint.h"
+#include "semantic.h"
 
 namespace lrd::lint {
 
 namespace {
+
+/** (path, includes) view shared by both entry points. */
+struct TuIncludes
+{
+    const std::string *path;
+    const std::vector<IncludeDirective> *includes;
+};
 
 const std::map<std::string, int> kLayerOf = {
     {"util", 0},   {"obs", 1},    {"robust", 2},   {"parallel", 3},
@@ -140,8 +148,10 @@ moduleLayer(const std::string &module)
     return it == kLayerOf.end() ? -1 : it->second;
 }
 
+namespace {
+
 std::vector<Diagnostic>
-checkIncludeGraph(const std::vector<SourceFile> &files)
+checkIncludeGraphImpl(const std::vector<TuIncludes> &files)
 {
     std::vector<Diagnostic> out;
 
@@ -153,21 +163,20 @@ checkIncludeGraph(const std::vector<SourceFile> &files)
     };
     std::map<std::string, std::vector<FileInclude>> fileIncludes;
     std::set<std::string> known;
-    for (const SourceFile &f : files)
-        known.insert(f.path);
+    for (const TuIncludes &f : files)
+        known.insert(*f.path);
 
     std::map<std::pair<std::string, std::string>, ModuleEdge> moduleEdges;
 
-    for (const SourceFile &f : files) {
-        const LexedFile lexed = lex(f.content);
-        const std::string fromMod = moduleOf(f.path);
+    for (const TuIncludes &f : files) {
+        const std::string fromMod = moduleOf(*f.path);
         const int fromLayer = moduleLayer(fromMod);
-        auto &incs = fileIncludes[f.path];
+        auto &incs = fileIncludes[*f.path];
 
-        for (const IncludeDirective &inc : lexed.includes) {
+        for (const IncludeDirective &inc : *f.includes) {
             if (!inc.quoted)
                 continue; // system headers are outside the layering
-            const std::string target = resolveInclude(f.path, inc.target);
+            const std::string target = resolveInclude(*f.path, inc.target);
             incs.push_back({target, inc.line});
 
             const std::string toMod = moduleOf(target);
@@ -180,14 +189,14 @@ checkIncludeGraph(const std::vector<SourceFile> &files)
                 oss << "layering back-edge: module '" << fromMod
                     << "' (layer " << fromLayer << ") must not include '"
                     << toMod << "' (layer " << toLayer << "); "
-                    << f.path << " includes \"" << inc.target << "\"";
-                out.push_back(
-                    Diagnostic{f.path, inc.line, kRuleLayering, oss.str()});
+                    << *f.path << " includes \"" << inc.target << "\"";
+                out.push_back(Diagnostic{*f.path, inc.line, kRuleLayering,
+                                         oss.str(), ""});
             } else if (toLayer == fromLayer) {
                 // Candidate intra-layer edge for the cycle check.
                 const auto key = std::make_pair(fromMod, toMod);
                 if (!moduleEdges.count(key))
-                    moduleEdges[key] = ModuleEdge{fromMod, toMod, f.path,
+                    moduleEdges[key] = ModuleEdge{fromMod, toMod, *f.path,
                                                   inc.target, inc.line};
             }
         }
@@ -206,8 +215,8 @@ checkIncludeGraph(const std::vector<SourceFile> &files)
         const ModuleEdge &e = moduleEdges.at({cycle[0], cycle[1]});
         oss << " (e.g. " << e.exampleFile << " includes \"" << e.exampleTarget
             << "\")";
-        out.push_back(
-            Diagnostic{e.exampleFile, e.exampleLine, kRuleCycle, oss.str()});
+        out.push_back(Diagnostic{e.exampleFile, e.exampleLine, kRuleCycle,
+                                 oss.str(), ""});
     }
 
     // File-level include cycles (only over files we were given).
@@ -239,14 +248,14 @@ checkIncludeGraph(const std::vector<SourceFile> &files)
             return false;
         };
 
-    for (const SourceFile &f : files) {
-        if (state[f.path] == 0 && dfs(f.path) && !fileCycle.empty()) {
+    for (const TuIncludes &f : files) {
+        if (state[*f.path] == 0 && dfs(*f.path) && !fileCycle.empty()) {
             std::ostringstream oss;
             oss << "include cycle: ";
             for (size_t i = 0; i < fileCycle.size(); ++i)
                 oss << (i ? " -> " : "") << fileCycle[i];
             out.push_back(Diagnostic{fileCycle.back(), cycleLine, kRuleCycle,
-                                     oss.str()});
+                                     oss.str(), ""});
             break; // one cycle report is enough to act on
         }
     }
@@ -254,23 +263,32 @@ checkIncludeGraph(const std::vector<SourceFile> &files)
     return out;
 }
 
-std::vector<Diagnostic>
-lintFiles(const std::vector<SourceFile> &files)
-{
-    std::vector<Diagnostic> out;
-    for (const SourceFile &f : files) {
-        std::vector<Diagnostic> d = lintFile(f);
-        out.insert(out.end(), d.begin(), d.end());
-    }
-    std::vector<Diagnostic> graph = checkIncludeGraph(files);
-    out.insert(out.end(), graph.begin(), graph.end());
+} // namespace
 
-    std::sort(out.begin(), out.end(),
-              [](const Diagnostic &a, const Diagnostic &b) {
-                  return std::tie(a.file, a.line, a.rule) <
-                         std::tie(b.file, b.line, b.rule);
-              });
-    return out;
+std::vector<Diagnostic>
+checkIncludeGraph(const std::vector<SourceFile> &files)
+{
+    // Lex just for the include lists; the cached path goes through
+    // the FileSummary overload instead.
+    std::vector<std::vector<IncludeDirective>> storage;
+    storage.reserve(files.size());
+    for (const SourceFile &f : files)
+        storage.push_back(lex(f.content).includes);
+    std::vector<TuIncludes> tus;
+    tus.reserve(files.size());
+    for (size_t i = 0; i < files.size(); ++i)
+        tus.push_back(TuIncludes{&files[i].path, &storage[i]});
+    return checkIncludeGraphImpl(tus);
+}
+
+std::vector<Diagnostic>
+checkIncludeGraph(const std::vector<FileSummary> &sums)
+{
+    std::vector<TuIncludes> tus;
+    tus.reserve(sums.size());
+    for (const FileSummary &s : sums)
+        tus.push_back(TuIncludes{&s.path, &s.includes});
+    return checkIncludeGraphImpl(tus);
 }
 
 } // namespace lrd::lint

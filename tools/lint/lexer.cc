@@ -134,7 +134,8 @@ lexDirective(Cursor &c, LexedFile &out)
     }
     out.directives.push_back(std::move(dir));
 
-    // Skip the rest of the line(s); comments inside still count.
+    // Skip the rest of the line(s); comments inside still count, and
+    // identifiers land in directiveTokens for the liveness scan.
     while (!c.done() && c.peek() != '\n') {
         if (c.peek() == '\\' && c.peek(1) == '\n') {
             c.next();
@@ -143,6 +144,19 @@ lexDirective(Cursor &c, LexedFile &out)
         }
         if (c.peek() == '/' && (c.peek(1) == '/' || c.peek(1) == '*')) {
             lexComment(c, out);
+            continue;
+        }
+        if (c.peek() == '"') {
+            lexQuoted(c, '"');
+            continue;
+        }
+        if (isIdentStart(c.peek())) {
+            Token t;
+            t.kind = TokKind::Identifier;
+            t.line = c.line;
+            while (!c.done() && isIdentChar(c.peek()))
+                t.text += c.next();
+            out.directiveTokens.push_back(std::move(t));
             continue;
         }
         c.next();

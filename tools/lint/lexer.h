@@ -60,6 +60,14 @@ struct LexedFile
     std::vector<Comment> comments;
     std::vector<IncludeDirective> includes;
     std::vector<Directive> directives;
+    /**
+     * Identifier tokens from preprocessor directive bodies (macro
+     * replacement text, #if expressions). Kept out of `tokens` so the
+     * structural rules never see them, but the dead-symbol liveness
+     * scan must: a function referenced only from a macro body is not
+     * dead.
+     */
+    std::vector<Token> directiveTokens;
 };
 
 /** Tokenize one translation unit. Never fails; garbage in, tokens out. */

@@ -55,6 +55,12 @@ struct Diagnostic
     /** Stable rule name, usable in allow(...) suppressions. */
     std::string rule;
     std::string message;
+    /**
+     * Qualified name of the function/symbol the finding is about
+     * (empty for file-level findings). Baseline suppression keys on
+     * (rule, file, symbol) so entries survive line drift.
+     */
+    std::string symbol;
 };
 
 /** Rule names (single definition so help text / tests stay in sync). */
@@ -70,6 +76,11 @@ inline constexpr const char *kRuleCycle = "include-cycle";
 inline constexpr const char *kRuleNakedThrow = "naked-throw";
 inline constexpr const char *kRuleBlockingSleep = "blocking-sleep";
 inline constexpr const char *kRuleIntrinsics = "intrinsics-outside-simd";
+inline constexpr const char *kRuleHotPathAlloc = "hot-path-alloc";
+inline constexpr const char *kRuleLockDiscipline = "lock-discipline";
+inline constexpr const char *kRuleUncheckedResult = "unchecked-result";
+inline constexpr const char *kRuleFpOrder = "fp-order";
+inline constexpr const char *kRuleDeadSymbol = "dead-symbol";
 
 /**
  * Layer of a module directory in the declared layering, or -1 when

@@ -3,7 +3,9 @@
  * lrd-lint CLI: walk the tree, run every rule, report.
  *
  * Usage:
- *   lrd-lint [--root <dir>] [--fix-list] [path...]
+ *   lrd-lint [--root <dir>] [--fix-list] [--sarif <file>]
+ *            [--json <file>] [--baseline <file>]
+ *            [--write-baseline <file>] [--cache-dir <dir>] [path...]
  *
  * With no paths the default scan set is src/, tools/, tests/ and
  * bench/ under the root. Paths may be files or directories and are
@@ -13,8 +15,20 @@
  * --fix-list switches the report to the machine-readable
  * "file<TAB>line<TAB>rule<TAB>message" format consumed by editor
  * integrations and CI annotators.
+ *
+ * --sarif / --json write machine-readable reports of the live
+ * (post-baseline) findings; both are deterministic.
+ *
+ * --baseline suppresses findings listed in the given file (keyed by
+ * rule/file/symbol); --write-baseline regenerates that file from the
+ * current findings and exits 0.
+ *
+ * --cache-dir enables the incremental parse cache: per-file parse
+ * results are stored keyed by content hash, and a warm run re-parses
+ * only changed files. Hit/miss counts are reported on stdout.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -23,19 +37,31 @@
 #include <string>
 #include <vector>
 
+#include "baseline.h"
+#include "cache.h"
 #include "lint.h"
+#include "output.h"
+#include "parser.h"
+#include "semantic.h"
+#include "sha256.h"
 
 namespace fs = std::filesystem;
 
 namespace {
 
 const char *kUsage =
-    "usage: lrd-lint [--root <dir>] [--fix-list] [path...]\n"
+    "usage: lrd-lint [--root <dir>] [--fix-list] [--sarif <file>]\n"
+    "                [--json <file>] [--baseline <file>]\n"
+    "                [--write-baseline <file>] [--cache-dir <dir>]\n"
+    "                [path...]\n"
     "\n"
-    "Lints the lrd tree for determinism, concurrency, layering and\n"
-    "header-hygiene invariants. Default paths: src tools tests bench.\n"
-    "Suppress one finding with '// lrd-lint: allow(<rule>)' on the\n"
-    "same or preceding line.\n";
+    "Lints the lrd tree for determinism, concurrency, layering,\n"
+    "header-hygiene and cross-TU semantic invariants (hot-path\n"
+    "allocations, lock discipline, discarded Status/Result values,\n"
+    "floating-point reduction order, dead symbols). Default paths:\n"
+    "src tools tests bench. Suppress one finding with\n"
+    "'// lrd-lint: allow(<rule>)' on the same or preceding line;\n"
+    "grandfather legacy findings via --baseline.\n";
 
 bool
 isSourceFile(const fs::path &p)
@@ -64,6 +90,16 @@ readFile(const fs::path &p, std::string &out)
     return true;
 }
 
+bool
+writeFile(const fs::path &p, const std::string &content)
+{
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << content;
+    return bool(out);
+}
+
 } // namespace
 
 int
@@ -71,7 +107,20 @@ main(int argc, char **argv)
 {
     fs::path root = fs::current_path();
     bool fixList = false;
+    std::string sarifPath, jsonPath, baselinePath, writeBaselinePath,
+        cacheDir;
     std::vector<std::string> paths;
+
+    const auto needValue = [&](int &i, const char *flag,
+                               std::string &dst) {
+        if (i + 1 >= argc) {
+            std::cerr << "lrd-lint: " << flag << " needs a value\n"
+                      << kUsage;
+            return false;
+        }
+        dst = argv[++i];
+        return true;
+    };
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -83,6 +132,21 @@ main(int argc, char **argv)
             root = argv[++i];
         } else if (arg == "--fix-list") {
             fixList = true;
+        } else if (arg == "--sarif") {
+            if (!needValue(i, "--sarif", sarifPath))
+                return 2;
+        } else if (arg == "--json") {
+            if (!needValue(i, "--json", jsonPath))
+                return 2;
+        } else if (arg == "--baseline") {
+            if (!needValue(i, "--baseline", baselinePath))
+                return 2;
+        } else if (arg == "--write-baseline") {
+            if (!needValue(i, "--write-baseline", writeBaselinePath))
+                return 2;
+        } else if (arg == "--cache-dir") {
+            if (!needValue(i, "--cache-dir", cacheDir))
+                return 2;
         } else if (arg == "--help" || arg == "-h") {
             std::cout << kUsage;
             return 0;
@@ -134,9 +198,73 @@ main(int argc, char **argv)
             return 2;
         }
     }
+    // Directory iteration order is filesystem-dependent; analysis and
+    // reports must not be.
+    std::sort(files.begin(), files.end(),
+              [](const lrd::lint::SourceFile &a,
+                 const lrd::lint::SourceFile &b) { return a.path < b.path; });
+    files.erase(std::unique(files.begin(), files.end(),
+                            [](const lrd::lint::SourceFile &a,
+                               const lrd::lint::SourceFile &b) {
+                                return a.path == b.path;
+                            }),
+                files.end());
 
-    const std::vector<lrd::lint::Diagnostic> diags =
-        lrd::lint::lintFiles(files);
+    // Per-file phase, through the cache when one is configured.
+    lrd::lint::CacheStats stats;
+    std::vector<lrd::lint::FileSummary> sums;
+    sums.reserve(files.size());
+    for (const lrd::lint::SourceFile &f : files) {
+        const std::string sha = lrd::lint::sha256Hex(f.content);
+        lrd::lint::FileSummary sum;
+        if (!cacheDir.empty()
+            && lrd::lint::cacheLoad(cacheDir, f.path, sha, sum)) {
+            ++stats.hits;
+        } else {
+            ++stats.misses;
+            sum = lrd::lint::parseFile(f, sha);
+            if (!cacheDir.empty())
+                lrd::lint::cacheStore(cacheDir, sum);
+        }
+        sums.push_back(std::move(sum));
+    }
+
+    std::vector<lrd::lint::Diagnostic> diags =
+        lrd::lint::analyzeSummaries(sums);
+
+    if (!writeBaselinePath.empty()) {
+        if (!writeFile(root / writeBaselinePath,
+                       lrd::lint::renderBaseline(diags))) {
+            std::cerr << "lrd-lint: cannot write baseline "
+                      << writeBaselinePath << "\n";
+            return 2;
+        }
+        std::cout << "lrd-lint: wrote " << diags.size()
+                  << " baseline entr" << (diags.size() == 1 ? "y" : "ies")
+                  << " to " << writeBaselinePath << "\n";
+        return 0;
+    }
+
+    size_t suppressed = 0;
+    if (!baselinePath.empty()) {
+        std::string content;
+        // A missing baseline is an empty baseline: the flag can be
+        // wired into CI before the first entry exists.
+        readFile(root / baselinePath, content);
+        diags = lrd::lint::applyBaseline(
+            diags, lrd::lint::parseBaseline(content), &suppressed);
+    }
+
+    if (!sarifPath.empty()
+        && !writeFile(root / sarifPath, lrd::lint::toSarif(diags))) {
+        std::cerr << "lrd-lint: cannot write " << sarifPath << "\n";
+        return 2;
+    }
+    if (!jsonPath.empty()
+        && !writeFile(root / jsonPath, lrd::lint::toJson(diags))) {
+        std::cerr << "lrd-lint: cannot write " << jsonPath << "\n";
+        return 2;
+    }
 
     for (const lrd::lint::Diagnostic &d : diags)
         std::cout << (fixList ? lrd::lint::formatFixList(d)
@@ -144,10 +272,16 @@ main(int argc, char **argv)
                   << "\n";
     if (!fixList) {
         if (diags.empty())
-            std::cout << "lrd-lint: " << files.size() << " files clean\n";
+            std::cout << "lrd-lint: " << files.size() << " files clean";
         else
             std::cout << "lrd-lint: " << diags.size() << " violation(s) in "
-                      << files.size() << " files\n";
+                      << files.size() << " files";
+        if (suppressed > 0)
+            std::cout << " (" << suppressed << " baselined)";
+        std::cout << "\n";
+        if (!cacheDir.empty())
+            std::cout << "lrd-lint: cache " << stats.hits << " hit(s), "
+                      << stats.misses << " miss(es)\n";
     }
     return diags.empty() ? 0 : 1;
 }

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Machine-readable report writers: SARIF 2.1.0 (for GitHub code
+ * scanning) and a plain JSON array. Both are deterministic: the same
+ * diagnostics produce byte-identical output, which is what the
+ * incremental-cache test asserts (cold run == warm run).
+ */
+
+#ifndef LRD_TOOLS_LINT_OUTPUT_H
+#define LRD_TOOLS_LINT_OUTPUT_H
+
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace lrd::lint {
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** SARIF 2.1.0 log with one run; results in input order. */
+std::string toSarif(const std::vector<Diagnostic> &diags);
+
+/** {"diagnostics": [...], "count": N} in input order. */
+std::string toJson(const std::vector<Diagnostic> &diags);
+
+} // namespace lrd::lint
+
+#endif // LRD_TOOLS_LINT_OUTPUT_H

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Lightweight C++ declaration parser for lrd-lint's cross-TU
+ * analysis.
+ *
+ * parseFile() turns one translation unit into a FileSummary: every
+ * function/method/lambda definition (with its qualified name, calls,
+ * allocation sites, lock acquisitions, floating-point compound
+ * assignments and discarded-call statements), declarations that carry
+ * return types, namespace-scope globals and mutexes, the include
+ * list, the in-source annotations, and the identifier-use set for the
+ * liveness scan.
+ *
+ * A FileSummary is everything the whole-repo phase (callgraph.h)
+ * needs, which is what makes it cacheable: the incremental cache
+ * stores summaries keyed by content hash, and a warm run never
+ * re-lexes an unchanged file.
+ *
+ * This is a heuristic parser, not a compiler front end: templates are
+ * parsed by token shape, overload resolution is name matching, and
+ * preprocessor conditionals contribute both branches. The semantic
+ * rules are written to over-approximate reachability and
+ * under-approximate certainty (a finding needs an unambiguous
+ * signal), which keeps false positives rare without libclang.
+ */
+
+#ifndef LRD_TOOLS_LINT_PARSER_H
+#define LRD_TOOLS_LINT_PARSER_H
+
+#include <string>
+#include <vector>
+
+#include "annotations.h"
+#include "lexer.h"
+#include "lint.h"
+
+namespace lrd::lint {
+
+/** One call site inside a function body. */
+struct CallSite
+{
+    /** Callee as written: "f", "A::B::f", or ".f" for member calls. */
+    std::string name;
+    int line = 0;
+};
+
+/** One allocation primitive inside a function body. */
+struct AllocSite
+{
+    /** "new", "malloc", ".push_back", ".resize", "make_unique", ... */
+    std::string what;
+    int line = 0;
+};
+
+/** One mutex acquisition (lock_guard/unique_lock/scoped_lock/.lock). */
+struct LockSite
+{
+    /** Last identifier of the mutex expression ("mu_", "mu"). */
+    std::string mutexName;
+    int line = 0;
+};
+
+/** One write (assignment / compound assignment / ++ / --). */
+struct WriteSite
+{
+    std::string var;
+    int line = 0;
+};
+
+/** One floating-point compound assignment (+= -= *= /=). */
+struct FpWrite
+{
+    std::string var;
+    int line = 0;
+};
+
+/** One function, method, or lambda. */
+struct FunctionInfo
+{
+    /** Last name component ("parallelFor"); lambdas: "<lambda>". */
+    std::string name;
+    /** Qualified name ("lrd::ThreadPool::parallelFor"); anonymous
+     *  namespaces contribute "(anon)", lambdas "<lambda@LINE>". */
+    std::string qualName;
+    int line = 0;
+    bool isLambda = false;
+    /** Declaration without a body (prototype / extern). */
+    bool isDeclOnly = false;
+    /** Return type mentions Status or Result. */
+    bool returnsStatus = false;
+    /** Internal linkage: anonymous namespace or file-static. */
+    bool internal = false;
+    /** Constructor, destructor, operator, or main: exempt from the
+     *  dead-symbol rule. */
+    bool special = false;
+    /** Index (into FileSummary::functions) of the enclosing function
+     *  for lambdas; -1 otherwise. */
+    int enclosing = -1;
+    /** Callee name when this lambda is written directly inside a call
+     *  argument list ("parallelFor", ".parallelFor", "scoreWith"). */
+    std::string passedTo;
+    std::vector<std::string> params;
+    /** Parameter / local names declared as scalar float or double. */
+    std::vector<std::string> floatLocals;
+    std::vector<CallSite> calls;
+    std::vector<AllocSite> allocs;
+    std::vector<LockSite> locks;
+    std::vector<FpWrite> fpWrites;
+    std::vector<WriteSite> writes;
+    /** Statement-level calls whose return value is discarded. */
+    std::vector<CallSite> discards;
+};
+
+/** One namespace-scope or class-scope mutex declaration. */
+struct MutexDecl
+{
+    std::string name;
+    /** Enclosing type for members; empty at namespace scope. */
+    std::string klass;
+    int line = 0;
+};
+
+/** One namespace-scope variable (for lock-discipline pairing). */
+struct GlobalDecl
+{
+    std::string name;
+    int line = 0;
+};
+
+/** Everything the cross-TU phase needs from one file. */
+struct FileSummary
+{
+    std::string path;
+    /** Content hash the summary was parsed from (cache key). */
+    std::string sha;
+    std::vector<FunctionInfo> functions;
+    std::vector<IncludeDirective> includes;
+    std::vector<MutexDecl> mutexes;
+    std::vector<GlobalDecl> globals;
+    Annotations annotations;
+    /**
+     * Sorted unique identifiers used in the file, excluding each
+     * declaration's own name token — so a symbol whose name appears
+     * only where it is declared/defined counts as unreferenced.
+     */
+    std::vector<std::string> usedIdentifiers;
+    /** Per-file token-rule findings (suppressions already applied). */
+    std::vector<Diagnostic> fileDiags;
+};
+
+/**
+ * Parse one file: lex, run the per-file token rules, and extract the
+ * declaration summary. `sha` is stored verbatim (pass the content
+ * hash when caching; tests may pass anything).
+ */
+FileSummary parseFile(const SourceFile &file, const std::string &sha = "");
+
+} // namespace lrd::lint
+
+#endif // LRD_TOOLS_LINT_PARSER_H

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "annotations.h"
 #include "lexer.h"
 #include "lint.h"
 
@@ -61,69 +62,6 @@ isHeaderPath(const std::string &path)
     return ext == ".h" || ext == ".hh" || ext == ".hpp";
 }
 
-/** Suppression / annotation state parsed out of the comments. */
-struct Annotations
-{
-    /** line -> rules allowed on that line and the next. */
-    std::map<int, std::set<std::string>> allows;
-    /** Lines carrying a `mutex(<name>)` annotation. */
-    std::set<int> mutexLines;
-};
-
-/**
- * Parse "lrd-lint: allow(a, b)" / "lrd-lint: mutex(name)" markers.
- * Unknown directives are ignored (forward compatibility).
- */
-Annotations
-parseAnnotations(const std::vector<Comment> &comments)
-{
-    Annotations ann;
-    for (const Comment &com : comments) {
-        const size_t tag = com.text.find("lrd-lint:");
-        if (tag == std::string::npos)
-            continue;
-        size_t pos = tag + 9;
-        while (pos < com.text.size() && std::isspace(
-                   static_cast<unsigned char>(com.text[pos])))
-            ++pos;
-        const size_t open = com.text.find('(', pos);
-        if (open == std::string::npos)
-            continue;
-        const std::string verb = com.text.substr(pos, open - pos);
-        const size_t close = com.text.find(')', open);
-        if (close == std::string::npos)
-            continue;
-        std::string args = com.text.substr(open + 1, close - open - 1);
-        if (verb == "mutex") {
-            ann.mutexLines.insert(com.line);
-        } else if (verb == "allow") {
-            std::istringstream iss(args);
-            std::string rule;
-            while (std::getline(iss, rule, ',')) {
-                rule.erase(std::remove_if(rule.begin(), rule.end(),
-                                          [](unsigned char c) {
-                                              return std::isspace(c);
-                                          }),
-                           rule.end());
-                if (!rule.empty())
-                    ann.allows[com.line].insert(rule);
-            }
-        }
-    }
-    return ann;
-}
-
-bool
-isSuppressed(const Annotations &ann, int line, const std::string &rule)
-{
-    for (int l : {line, line - 1}) {
-        const auto it = ann.allows.find(l);
-        if (it != ann.allows.end() && it->second.count(rule))
-            return true;
-    }
-    return false;
-}
-
 /** Collector that applies suppressions at emission time. */
 struct Sink
 {
@@ -135,7 +73,8 @@ struct Sink
     {
         if (isSuppressed(ann, line, rule))
             return;
-        out.push_back(Diagnostic{file.path, line, rule, std::move(message)});
+        out.push_back(
+            Diagnostic{file.path, line, rule, std::move(message), ""});
     }
 };
 
@@ -421,8 +360,7 @@ checkNamespaceScope(const SourceFile &file, const std::vector<Token> &toks,
                 safe = true;
                 break;
             }
-        if (!safe && (ann.mutexLines.count(line) ||
-                      ann.mutexLines.count(line - 1)))
+        if (!safe && ann.mutexAnnotated(line))
             safe = true;
         if (!safe) {
             std::string name;

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Minimal SHA-256 for the lint cache's content-addressed keys.
+ *
+ * The incremental cache (cache.h) keys per-file parse results by the
+ * hash of the file's bytes, so a cache hit proves the cached summary
+ * was produced from identical content. FNV would be cheaper but a
+ * 64-bit fingerprint colliding across a long-lived cache directory is
+ * a silent wrong-answer; SHA-256 makes the key collision-free for all
+ * practical purposes and doubles as the first concrete instance of
+ * the ROADMAP's content-addressed-cache direction.
+ */
+
+#ifndef LRD_TOOLS_LINT_SHA256_H
+#define LRD_TOOLS_LINT_SHA256_H
+
+#include <string>
+
+namespace lrd::lint {
+
+/** Lowercase-hex SHA-256 digest of `data`. */
+std::string sha256Hex(const std::string &data);
+
+} // namespace lrd::lint
+
+#endif // LRD_TOOLS_LINT_SHA256_H

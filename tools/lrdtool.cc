@@ -271,7 +271,11 @@ cmdEval(double percent)
                       : DecompConfig::identity();
     if (!gamma.empty()) {
         std::printf("applying %s\n", gamma.describe().c_str());
-        gamma.applyTo(model);
+        const Status applied = gamma.applyTo(model);
+        if (!applied.ok()) {
+            std::fprintf(stderr, "eval: %s\n", applied.toString().c_str());
+            return exitCodeForStatus(applied);
+        }
     }
     Evaluator ev(model, defaultWorld(), EvalOptions{120, 777, false});
     Status worst;
@@ -299,7 +303,8 @@ cmdStats(double percent)
 {
     MetricsRegistry::instance().setEnabled(true);
     inform(strCat("stats: SIMD dispatch level ",
-                  simd::levelName(simd::activeLevel())));
+                  simd::levelName(simd::activeLevel()), ", ",
+                  parallelWorkers(), " worker thread(s)"));
     TransformerModel model = pretrainedTinyLlama();
     const ModelConfig cfg = model.config();
     const DecompConfig gamma =
@@ -307,7 +312,11 @@ cmdStats(double percent)
                       : DecompConfig::identity();
     if (!gamma.empty()) {
         inform(strCat("stats: applying ", gamma.describe()));
-        gamma.applyTo(model);
+        const Status applied = gamma.applyTo(model);
+        if (!applied.ok()) {
+            std::fprintf(stderr, "stats: %s\n", applied.toString().c_str());
+            return exitCodeForStatus(applied);
+        }
     }
     Evaluator ev(model, defaultWorld(), EvalOptions{24, 777, false});
     const EvalResult r = ev.run(allBenchmarks().front());
@@ -330,6 +339,9 @@ cmdStats(double percent)
     // printing here too would emit the JSON twice.
     if (obsStatsPath().empty())
         std::printf("%s", MetricsRegistry::instance().toJson().c_str());
+    if (!obsTracePath().empty())
+        inform(strCat("stats: trace spans flush to ", obsTracePath(),
+                      " on exit"));
     return 0;
 }
 
