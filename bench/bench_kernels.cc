@@ -18,6 +18,8 @@
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "serve/server.h"
+#include "serve/workload.h"
 #include "tensor/ops.h"
 #include "tensor/simd/simd.h"
 #include "train/model_zoo.h"
@@ -414,6 +416,64 @@ BM_TrainerStep(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TrainerStep);
+
+void
+BM_ServeThroughput(benchmark::State &state)
+{
+    // End-to-end serving cost: a closed-loop burst through admission,
+    // batching, and delivery on a fresh (untrained) tiny model.
+    TransformerModel model(tinyLlamaConfig(), 11);
+    ServeOptions opts;
+    opts.queueCapacity = 16;
+    opts.maxBatch = 4;
+    opts.maxClientAttempts = 8;
+    WorkloadOptions wl;
+    wl.numRequests = 24;
+    wl.maxContextLen = 8;
+    wl.maxContinuationLen = 3;
+    wl.deadlineTicks = 1024;
+    int64_t responded = 0;
+    for (auto _ : state) {
+        Server server(model, opts);
+        const ServeReport r =
+            server.run(makeSyntheticWorkload(tinyLlamaConfig(), wl));
+        responded += r.stats.responded;
+        benchmark::DoNotOptimize(r.stats.throughputRps);
+    }
+    state.SetItemsProcessed(responded);
+}
+BENCHMARK(BM_ServeThroughput);
+
+void
+BM_ServeP99(benchmark::State &state)
+{
+    // Tail latency under overload: a burst twice the queue depth, so
+    // the run exercises the degradation ladder and client backoff.
+    // p99 (in ticks, deterministic) is exported as a counter so
+    // check_bench.py gates tail regressions, not just mean time.
+    TransformerModel model(tinyLlamaConfig(), 11);
+    ServeOptions opts;
+    opts.queueCapacity = 8;
+    opts.maxBatch = 4;
+    opts.maxClientAttempts = 8;
+    WorkloadOptions wl;
+    wl.numRequests = 16;
+    wl.maxContextLen = 8;
+    wl.maxContinuationLen = 3;
+    wl.deadlineTicks = 1024;
+    double p99 = 0.0;
+    int64_t responded = 0;
+    for (auto _ : state) {
+        Server server(model, opts);
+        const ServeReport r =
+            server.run(makeSyntheticWorkload(tinyLlamaConfig(), wl));
+        p99 = r.stats.p99LatencyTicks;
+        responded += r.stats.responded;
+    }
+    state.SetItemsProcessed(responded);
+    state.counters["p99_latency_ticks"] = p99;
+}
+BENCHMARK(BM_ServeP99);
 
 } // namespace
 } // namespace lrd

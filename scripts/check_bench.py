@@ -13,7 +13,13 @@ Context gating: the two files must agree on the manifest-identifying
 context fields (lrd_simd, lrd_build_type). A mismatch means the
 numbers are not comparable (different machine class or an unoptimized
 build) — the gate reports SKIPPED and exits 0 so CI stays advisory,
-unless --force insists on comparing anyway.
+unless --force insists on comparing anyway. Every mismatched key is
+named on stderr so a skip is always attributable.
+
+Baseline benchmarks missing from the fresh run FAIL the gate: a gated
+benchmark silently dropping out (renamed, filtered, crashed) would
+otherwise read as "no regressions". Pass --allow-missing for
+intentionally filtered runs (e.g. the verify.sh quick pass).
 
 Exit codes: 0 ok/skipped, 1 regression detected, 2 bad input.
 
@@ -60,14 +66,16 @@ def context_mismatches(baseline, fresh):
 
 
 def compare(baseline, fresh, threshold, cv_margin, inflate):
-    """Return (regressions, rows) comparing fresh against baseline."""
+    """Return (regressions, missing, rows) vs the baseline."""
     base = load_medians(baseline)
     new = load_medians(fresh)
     regressions = []
+    missing = []
     rows = []
     for name in sorted(base):
         if name not in new:
             rows.append((name, base[name][0], None, None, "MISSING"))
+            missing.append(name)
             continue
         base_ns, cv = base[name]
         fresh_ns = new[name][0] * inflate
@@ -80,7 +88,7 @@ def compare(baseline, fresh, threshold, cv_margin, inflate):
         rows.append((name, base_ns, fresh_ns, ratio, verdict))
     for name in sorted(set(new) - set(base)):
         rows.append((name, None, new[name][0], None, "NEW"))
-    return regressions, rows
+    return regressions, missing, rows
 
 
 def print_rows(rows, out=sys.stdout):
@@ -108,15 +116,24 @@ def run_gate(args):
 
     mismatches = context_mismatches(baseline, fresh)
     if mismatches and not args.force:
+        # stderr, key by key: a skipped gate must be attributable from
+        # the CI log alone, or gated benchmarks rot unnoticed.
         print("check_bench: SKIPPED (context mismatch, numbers not "
-              "comparable):")
+              "comparable):", file=sys.stderr)
         for m in mismatches:
-            print(f"  {m}")
+            print(f"  mismatched context key {m}", file=sys.stderr)
         return 0
 
-    regressions, rows = compare(baseline, fresh, args.threshold,
-                                args.cv_margin, args.inflate)
+    regressions, missing, rows = compare(baseline, fresh, args.threshold,
+                                         args.cv_margin, args.inflate)
     print_rows(rows)
+    if missing and not args.allow_missing:
+        print("check_bench: FAIL — baseline benchmark(s) absent from "
+              "the fresh run (renamed, filtered, or crashed): "
+              + ", ".join(missing), file=sys.stderr)
+        print("  (pass --allow-missing for intentionally filtered runs)",
+              file=sys.stderr)
+        return 1
     if regressions:
         print(f"check_bench: FAIL — {len(regressions)} regression(s): "
               + ", ".join(regressions))
@@ -137,20 +154,38 @@ def self_test(args):
     except (OSError, json.JSONDecodeError) as e:
         print(f"check_bench: cannot load baseline: {e}", file=sys.stderr)
         return 2
-    clean, _ = compare(baseline, baseline, args.threshold,
-                       args.cv_margin, 1.0)
-    slowed, _ = compare(baseline, baseline, args.threshold,
-                        args.cv_margin, 1.2)
-    if clean:
+    clean, clean_missing, _ = compare(baseline, baseline, args.threshold,
+                                      args.cv_margin, 1.0)
+    slowed, _, _ = compare(baseline, baseline, args.threshold,
+                           args.cv_margin, 1.2)
+    if clean or clean_missing:
         print("check_bench: self-test FAIL — baseline vs itself "
-              f"reported regressions: {clean}")
+              f"reported regressions: {clean} missing: {clean_missing}")
         return 1
     if not slowed:
         print("check_bench: self-test FAIL — synthetic 20% slowdown "
               "was not detected")
         return 1
+    # A benchmark dropping out of the fresh run must be detected, or
+    # gated benchmarks can vanish without failing the gate.
+    truncated = json.loads(json.dumps(baseline))
+    names = {e.get("run_name", e.get("name", ""))
+             for e in truncated.get("benchmarks", [])}
+    if names:
+        dropped = sorted(names)[0]
+        truncated["benchmarks"] = [
+            e for e in truncated["benchmarks"]
+            if e.get("run_name", e.get("name", "")) != dropped
+        ]
+        _, missing, _ = compare(baseline, truncated, args.threshold,
+                                args.cv_margin, 1.0)
+        if missing != [dropped]:
+            print("check_bench: self-test FAIL — dropped benchmark "
+                  f"{dropped!r} was not reported missing (got {missing})")
+            return 1
     print("check_bench: self-test OK (identity passes, +20% synthetic "
-          f"slowdown trips {len(slowed)} benchmarks)")
+          f"slowdown trips {len(slowed)} benchmarks, dropped benchmarks "
+          "are detected)")
     return 0
 
 
@@ -168,6 +203,9 @@ def main():
                         help="multiply fresh times (testing aid)")
     parser.add_argument("--force", action="store_true",
                         help="compare despite a context mismatch")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="tolerate baseline benchmarks absent from "
+                             "the fresh run (filtered quick passes)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the gate itself, no fresh file")
     args = parser.parse_args()

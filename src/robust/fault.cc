@@ -170,6 +170,12 @@ registeredFaultSites()
          "Checkpoint serialization and atomic write (src/robust)"},
         {"ckpt.read", "alloc,cancel",
          "Checkpoint load and validation (src/robust)"},
+        {"serve.admit", "alloc,cancel",
+         "Request admission into the serve queue (src/serve)"},
+        {"serve.batch", "nan,cancel",
+         "Top of a serve batch execution (src/serve)"},
+        {"serve.respond", "alloc,cancel",
+         "Response delivery back to the client (src/serve)"},
     };
     return sites;
 }

@@ -23,6 +23,25 @@ namespace lrd {
  * fresh Rng derived from baseSeed and the attempt index. Returns the
  * first ok Status, or the last failure when every attempt failed.
  */
+/**
+ * Exponential backoff in abstract work units ("ticks"): attempt k
+ * (0-based) waits baseTicks * 2^k, capped at maxTicks. Pure integer
+ * arithmetic on the attempt number — never wall clock — so a retry
+ * schedule built from it is bitwise reproducible. Used by the serve
+ * layer's client-side retry (a shed request re-offers itself at
+ * tick + backoffTicks(base, attempt)).
+ */
+inline int64_t
+backoffTicks(int64_t baseTicks, int attempt, int64_t maxTicks = 1 << 20)
+{
+    if (baseTicks <= 0)
+        return 0;
+    int64_t ticks = baseTicks;
+    for (int k = 0; k < attempt && ticks < maxTicks; ++k)
+        ticks *= 2;
+    return ticks < maxTicks ? ticks : maxTicks;
+}
+
 template <class Fn>
 Status
 retryWithReseed(uint64_t baseSeed, int maxAttempts, const Fn &fn)

@@ -50,6 +50,8 @@ exitCodeForStatus(const Status &status)
         return kExitCorruptCheckpoint;
     case StatusCode::NonConvergence:
         return kExitNonConvergence;
+    case StatusCode::Unavailable:
+        return kExitUnavailable;
     default:
         return kExitError;
     }

@@ -32,6 +32,7 @@ inline constexpr int kExitCancelled = 3;         ///< Signal / cancel request.
 inline constexpr int kExitDeadline = 4;          ///< LRD_DEADLINE expired.
 inline constexpr int kExitCorruptCheckpoint = 5; ///< Checkpoint data loss.
 inline constexpr int kExitNonConvergence = 6;    ///< Kernel sweep cap hit.
+inline constexpr int kExitUnavailable = 7;       ///< Response delivery failed.
 
 /** Map a pipeline Status to the documented process exit code. */
 int exitCodeForStatus(const Status &status);

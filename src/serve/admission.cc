@@ -1,0 +1,46 @@
+#include "serve/admission.h"
+
+#include "obs/metrics.h"
+#include "robust/fault.h"
+#include "util/logging.h"
+
+namespace lrd {
+
+AdmissionController::AdmissionController(int64_t queueCapacity,
+                                         int64_t maxBatch)
+    : queueCapacity_(queueCapacity), maxBatch_(maxBatch)
+{
+    require(queueCapacity > 0,
+            "AdmissionController: queueCapacity must be positive");
+    require(maxBatch > 0, "AdmissionController: maxBatch must be positive");
+}
+
+AdmitDecision
+AdmissionController::offer(int64_t queueDepth)
+{
+    static Counter *admitted =
+        MetricsRegistry::instance().counter("serve.admitted");
+    static Counter *shed = MetricsRegistry::instance().counter("serve.shed");
+
+    AdmitDecision decision;
+    const bool injectedShed = faultAt("serve.admit", FaultKind::Alloc);
+    if (!injectedShed && queueDepth < queueCapacity_) {
+        decision.admitted = true;
+        admitted->inc();
+        return decision;
+    }
+    // Retry-after: ticks for the batcher to drain the present backlog
+    // at the full batch rate, at least one. Computed, not guessed, so
+    // a well-behaved client re-offering after the hint lands in a
+    // queue with room (absent new arrivals).
+    const int64_t backlog = queueDepth > 0 ? queueDepth : 1;
+    decision.retryAfterTicks = (backlog + maxBatch_ - 1) / maxBatch_;
+    decision.status =
+        Status(StatusCode::ResourceExhausted, "serve.admit",
+               injectedShed ? "injected admission failure"
+                            : "queue at capacity");
+    shed->inc();
+    return decision;
+}
+
+} // namespace lrd

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Admission control: the decision, made at a serial point on the
+ * server control thread, of whether an offered request enters the
+ * bounded queue or is shed with a computed retry-after hint.
+ *
+ * Shedding is deterministic — a pure function of the queue depth at
+ * the tick the request is offered — and always explicit: a shed
+ * request carries StatusCode::ResourceExhausted plus a retry-after
+ * hint sized to the current backlog, never a silent drop.
+ */
+
+#ifndef LRD_SERVE_ADMISSION_H
+#define LRD_SERVE_ADMISSION_H
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace lrd {
+
+/** Outcome of offering one request to admission control. */
+struct AdmitDecision
+{
+    bool admitted = false;
+    /** Shed only: ticks until the backlog should have drained. */
+    int64_t retryAfterTicks = 0;
+    /** Shed only: ResourceExhausted at serve.admit. */
+    Status status;
+};
+
+/**
+ * Stateless admission policy over a bounded queue. Lives in its own
+ * class (rather than inline in the server loop) so the shed rule and
+ * its fault hook are unit-testable without a model or a queue.
+ */
+class AdmissionController
+{
+  public:
+    /**
+     * @param queueCapacity Bound of the request queue.
+     * @param maxBatch Requests retired per tick at full batch size;
+     *        sets the retry-after scale (backlog / drain rate).
+     */
+    AdmissionController(int64_t queueCapacity, int64_t maxBatch);
+
+    /**
+     * Decide admission for one request given the queue depth at this
+     * tick. Checks the serve.admit fault site: an injected alloc
+     * fault sheds the request exactly as a full queue would, so chaos
+     * runs exercise the shed path at any load. Bumps serve.admitted /
+     * serve.shed.
+     */
+    AdmitDecision offer(int64_t queueDepth);
+
+    int64_t queueCapacity() const { return queueCapacity_; }
+
+  private:
+    int64_t queueCapacity_;
+    int64_t maxBatch_;
+};
+
+} // namespace lrd
+
+#endif // LRD_SERVE_ADMISSION_H

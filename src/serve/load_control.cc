@@ -1,0 +1,86 @@
+#include "serve/load_control.h"
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace lrd {
+
+const char *
+serviceLevelName(ServiceLevel level)
+{
+    switch (level) {
+    case ServiceLevel::Normal:
+        return "normal";
+    case ServiceLevel::BatchShrink:
+        return "batch-shrink";
+    case ServiceLevel::RankFallback:
+        return "rank-fallback";
+    }
+    return "unknown";
+}
+
+LoadController::LoadController(LoadControlOptions opts) : opts_(opts)
+{
+    require(opts.shrinkLow <= opts.shrinkHigh
+                && opts.shrinkHigh <= opts.fallbackHigh
+                && opts.fallbackLow <= opts.fallbackHigh,
+            "LoadController: thresholds must be ordered "
+            "shrinkLow <= shrinkHigh <= fallbackHigh, "
+            "fallbackLow <= fallbackHigh");
+}
+
+ServiceLevel
+LoadController::update(int64_t queueDepth, int64_t queueCapacity)
+{
+    static Counter *transitions =
+        MetricsRegistry::instance().counter("serve.degrade.transitions");
+    static Gauge *levelGauge =
+        MetricsRegistry::instance().gauge("serve.degrade.level");
+
+    const double occupancy = queueCapacity > 0
+                                 ? static_cast<double>(queueDepth)
+                                       / static_cast<double>(queueCapacity)
+                                 : 0.0;
+    ServiceLevel next = level_;
+    switch (level_) {
+    case ServiceLevel::Normal:
+        if (occupancy >= opts_.fallbackHigh)
+            next = ServiceLevel::RankFallback;
+        else if (occupancy >= opts_.shrinkHigh)
+            next = ServiceLevel::BatchShrink;
+        break;
+    case ServiceLevel::BatchShrink:
+        if (occupancy >= opts_.fallbackHigh)
+            next = ServiceLevel::RankFallback;
+        else if (occupancy < opts_.shrinkLow)
+            next = ServiceLevel::Normal;
+        break;
+    case ServiceLevel::RankFallback:
+        if (occupancy < opts_.fallbackLow)
+            next = occupancy < opts_.shrinkLow ? ServiceLevel::Normal
+                                               : ServiceLevel::BatchShrink;
+        break;
+    }
+    if (next != level_) {
+        inform(strCat("serve: degradation ladder ",
+                      serviceLevelName(level_), " -> ",
+                      serviceLevelName(next), " (queue ", queueDepth, "/",
+                      queueCapacity, ")"));
+        level_ = next;
+        ++transitions_;
+        transitions->inc();
+    }
+    levelGauge->set(static_cast<double>(static_cast<int>(level_)));
+    return level_;
+}
+
+int64_t
+LoadController::maxBatch(int64_t configuredMax) const
+{
+    if (level_ == ServiceLevel::Normal)
+        return configuredMax;
+    const int64_t shrunk = configuredMax / 2;
+    return shrunk > 0 ? shrunk : 1;
+}
+
+} // namespace lrd

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The graceful-degradation ladder: a load controller that watches
+ * queue occupancy at tick boundaries and steps the server through
+ *
+ *   Normal -> BatchShrink -> RankFallback
+ *
+ * before admission control sheds anything. BatchShrink halves the
+ * batch ceiling so per-tick latency stays bounded; RankFallback
+ * additionally routes scoring to a lower-rank variant of the model
+ * (a DecompConfig-factorized copy — the paper's accuracy/efficiency
+ * trade-off applied as an overload valve). Transitions use
+ * hysteresis (enter above `high`, leave below `low`) so occupancy
+ * noise near a threshold cannot flap the ladder, and every
+ * transition is logged and counted (serve.degrade.transitions,
+ * serve.degrade.level).
+ */
+
+#ifndef LRD_SERVE_LOAD_CONTROL_H
+#define LRD_SERVE_LOAD_CONTROL_H
+
+#include <cstdint>
+
+namespace lrd {
+
+/** Rung of the degradation ladder (ordered by severity). */
+enum class ServiceLevel : int
+{
+    Normal = 0,
+    BatchShrink = 1,
+    RankFallback = 2,
+};
+
+/** Stable lowercase name for a level ("batch-shrink", ...). */
+const char *serviceLevelName(ServiceLevel level);
+
+/** Hysteresis thresholds as fractions of queue capacity. */
+struct LoadControlOptions
+{
+    double shrinkHigh = 0.50;   ///< Enter BatchShrink at/above this.
+    double shrinkLow = 0.25;    ///< Leave BatchShrink below this.
+    double fallbackHigh = 0.80; ///< Enter RankFallback at/above this.
+    double fallbackLow = 0.50;  ///< Leave RankFallback below this.
+};
+
+class LoadController
+{
+  public:
+    explicit LoadController(LoadControlOptions opts);
+
+    /**
+     * Re-evaluate the ladder for this tick's queue occupancy.
+     * Called once per tick from the control thread (a serial point),
+     * so the level sequence is a pure function of the occupancy
+     * sequence. Returns the (possibly unchanged) level.
+     */
+    ServiceLevel update(int64_t queueDepth, int64_t queueCapacity);
+
+    ServiceLevel level() const { return level_; }
+
+    /** Batch ceiling at the current level (halved under shrink). */
+    int64_t maxBatch(int64_t configuredMax) const;
+
+    /** Whether scoring should use the lower-rank fallback model. */
+    bool
+    useFallbackModel() const
+    {
+        return level_ == ServiceLevel::RankFallback;
+    }
+
+    int64_t transitions() const { return transitions_; }
+
+  private:
+    LoadControlOptions opts_;
+    ServiceLevel level_ = ServiceLevel::Normal;
+    int64_t transitions_ = 0;
+};
+
+} // namespace lrd
+
+#endif // LRD_SERVE_LOAD_CONTROL_H

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Bounded MPMC queue with explicit overflow reporting.
+ *
+ * The admission side of the serving layer: producers offer work with
+ * tryPush() (never blocks — a full queue is an *admission decision*,
+ * surfaced to the caller, not an invisible stall), consumers take
+ * work with tryPop()/popWait(). close() wakes every waiter; a closed,
+ * drained queue pops nothing.
+ *
+ * Mutex + condition variable rather than a lock-free ring: the serve
+ * control loop pops at tick granularity (hundreds of microseconds of
+ * model math per item), so queue overhead is noise — and a mutex
+ * keeps the TSan story trivial for the producer/consumer storm test.
+ * The deterministic scheduling guarantee does not come from the
+ * queue; it comes from the server making every decision at serial
+ * points on the control thread.
+ */
+
+#ifndef LRD_SERVE_QUEUE_H
+#define LRD_SERVE_QUEUE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace lrd {
+
+template <typename T>
+class BoundedMpmcQueue
+{
+  public:
+    explicit BoundedMpmcQueue(int64_t capacity) : capacity_(capacity)
+    {
+        require(capacity > 0,
+                "BoundedMpmcQueue: capacity must be positive");
+    }
+
+    /**
+     * Offer one item. Returns false — without blocking — when the
+     * queue is at capacity or closed; the item is untouched and the
+     * caller owns the shed/retry decision.
+     */
+    bool
+    tryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (closed_ || static_cast<int64_t>(items_.size()) >= capacity_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        nonEmpty_.notify_one();
+        return true;
+    }
+
+    /** Pop the oldest item, or nullopt when empty (never blocks). */
+    std::optional<T>
+    tryPop()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    /**
+     * Pop the oldest item, waiting while the queue is empty and open.
+     * Returns nullopt only once the queue is closed *and* drained, so
+     * a consumer loop `while (auto item = q.popWait())` exits exactly
+     * when no item can ever arrive again.
+     */
+    std::optional<T>
+    popWait()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        nonEmpty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    /** Stop admitting and wake every waiting consumer (idempotent). */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            closed_ = true;
+        }
+        nonEmpty_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return closed_;
+    }
+
+    int64_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return static_cast<int64_t>(items_.size());
+    }
+
+    int64_t capacity() const { return capacity_; }
+
+  private:
+    const int64_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable nonEmpty_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace lrd
+
+#endif // LRD_SERVE_QUEUE_H

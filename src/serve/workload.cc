@@ -1,0 +1,119 @@
+#include "serve/workload.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace lrd {
+
+std::vector<ServeRequest>
+makeSyntheticWorkload(const ModelConfig &cfg, const WorkloadOptions &opts)
+{
+    require(opts.numRequests > 0,
+            "makeSyntheticWorkload: numRequests must be positive");
+    require(cfg.vocabSize > 0,
+            "makeSyntheticWorkload: model vocabulary is empty");
+    Rng rng(opts.seed);
+    const auto vocab = static_cast<uint64_t>(cfg.vocabSize);
+    std::vector<ServeRequest> out;
+    out.reserve(static_cast<size_t>(opts.numRequests));
+    int64_t arrival = 0;
+    for (int i = 0; i < opts.numRequests; ++i) {
+        ServeRequest req;
+        req.id = i;
+        req.tenant = static_cast<int>(
+            rng.uniformInt(static_cast<uint64_t>(opts.tenants)));
+        const auto ctxLen = static_cast<size_t>(
+            1 + rng.uniformInt(static_cast<uint64_t>(opts.maxContextLen)));
+        const auto contLen = static_cast<size_t>(
+            1
+            + rng.uniformInt(
+                static_cast<uint64_t>(opts.maxContinuationLen)));
+        req.context.reserve(ctxLen);
+        for (size_t t = 0; t < ctxLen; ++t)
+            req.context.push_back(static_cast<int>(rng.uniformInt(vocab)));
+        req.continuation.reserve(contLen);
+        for (size_t t = 0; t < contLen; ++t)
+            req.continuation.push_back(
+                static_cast<int>(rng.uniformInt(vocab)));
+        if (opts.maxArrivalGapTicks > 0 && i > 0)
+            arrival += static_cast<int64_t>(rng.uniformInt(
+                static_cast<uint64_t>(opts.maxArrivalGapTicks + 1)));
+        req.arrivalTick = arrival;
+        req.deadlineTick = arrival + opts.deadlineTicks;
+        out.push_back(std::move(req));
+    }
+    return out;
+}
+
+namespace {
+
+Result<TokenSeq>
+tokenArray(const JsonValue &obj, const std::string &key, int64_t line)
+{
+    const JsonValue *arr = obj.find(key);
+    if (arr == nullptr || !arr->isArray() || arr->elements().empty())
+        return Status(StatusCode::InvalidArgument, "serve.workload",
+                      strCat("line ", line, ": '", key,
+                             "' must be a non-empty token array"));
+    TokenSeq seq;
+    seq.reserve(arr->elements().size());
+    for (const JsonValue &el : arr->elements()) {
+        if (!el.isNumber())
+            return Status(StatusCode::InvalidArgument, "serve.workload",
+                          strCat("line ", line, ": '", key,
+                                 "' holds a non-numeric token"));
+        seq.push_back(static_cast<int>(el.asInt()));
+    }
+    return seq;
+}
+
+} // namespace
+
+Result<std::vector<ServeRequest>>
+loadWorkloadFile(const std::string &path, int64_t defaultDeadlineTicks)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return Status(StatusCode::NotFound, "serve.workload",
+                      "cannot open request file '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Result<std::vector<JsonValue>> lines = parseJsonLines(buf.str());
+    if (!lines.ok())
+        return lines.status();
+
+    std::vector<ServeRequest> out;
+    out.reserve(lines.value().size());
+    for (size_t i = 0; i < lines.value().size(); ++i) {
+        const JsonValue &obj = lines.value()[i];
+        const auto line = static_cast<int64_t>(i + 1);
+        if (!obj.isObject())
+            return Status(StatusCode::InvalidArgument, "serve.workload",
+                          strCat("line ", line, ": expected an object"));
+        ServeRequest req;
+        req.id = static_cast<int64_t>(i);
+        req.tenant = static_cast<int>(obj.intOr("tenant", 0));
+        Result<TokenSeq> ctx = tokenArray(obj, "context", line);
+        if (!ctx.ok())
+            return ctx.status();
+        req.context = std::move(ctx).value();
+        Result<TokenSeq> cont = tokenArray(obj, "continuation", line);
+        if (!cont.ok())
+            return cont.status();
+        req.continuation = std::move(cont).value();
+        req.arrivalTick = obj.intOr("arrival", 0);
+        req.deadlineTick =
+            obj.intOr("deadline", req.arrivalTick + defaultDeadlineTicks);
+        out.push_back(std::move(req));
+    }
+    if (out.empty())
+        return Status(StatusCode::InvalidArgument, "serve.workload",
+                      "request file '" + path + "' holds no requests");
+    return out;
+}
+
+} // namespace lrd

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Workload sources for the serving layer: a seeded synthetic
+ * generator (closed-loop bursts or an open-loop arrival process) and
+ * a JSONL request-file loader, both producing the same ServeRequest
+ * stream shape so `lrdtool serve` and the tests drive one code path.
+ *
+ * Everything is derived from lrd::Rng with a caller-supplied seed —
+ * the arrival process included — so a workload is a pure function of
+ * its options and two runs of the same spec are identical.
+ */
+
+#ifndef LRD_SERVE_WORKLOAD_H
+#define LRD_SERVE_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/config.h"
+#include "serve/request.h"
+#include "util/status.h"
+
+namespace lrd {
+
+struct WorkloadOptions
+{
+    int numRequests = 32;
+    int tenants = 4;
+    /** Context lengths are drawn from [1, maxContextLen]. */
+    int maxContextLen = 12;
+    /** Continuation lengths are drawn from [1, maxContinuationLen]. */
+    int maxContinuationLen = 4;
+    /** Ticks from arrival to deadline for every request. */
+    int64_t deadlineTicks = 64;
+    /**
+     * Open-loop arrival process: requests arrive with seeded gaps of
+     * [0, maxArrivalGapTicks] ticks. 0 = closed-loop (everything
+     * arrives at tick 0 — the overload case).
+     */
+    int64_t maxArrivalGapTicks = 0;
+    uint64_t seed = 42;
+};
+
+/**
+ * Generate a deterministic synthetic workload: uniform token ids in
+ * [0, cfg.vocabSize), lengths and tenants drawn from one Rng stream,
+ * ids dense [0, numRequests) in arrival order.
+ */
+std::vector<ServeRequest> makeSyntheticWorkload(const ModelConfig &cfg,
+                                                const WorkloadOptions &opts);
+
+/**
+ * Load a JSONL request file: one object per line with "context" and
+ * "continuation" token arrays and optional "tenant", "arrival", and
+ * "deadline" (absolute tick; defaults to arrival + defaultDeadline).
+ * Ids are assigned densely in file order.
+ */
+Result<std::vector<ServeRequest>>
+loadWorkloadFile(const std::string &path, int64_t defaultDeadlineTicks);
+
+} // namespace lrd
+
+#endif // LRD_SERVE_WORKLOAD_H

@@ -25,6 +25,8 @@
 #include "robust/fault.h"
 #include "robust/recovery.h"
 #include "robust/signal.h"
+#include "serve/server.h"
+#include "serve/workload.h"
 #include "train/trainer.h"
 
 namespace lrd {
@@ -284,6 +286,8 @@ TEST(Cancel, ExitCodesMapEveryDocumentedOutcome)
     EXPECT_EQ(exitCodeForStatus(Status(StatusCode::NonConvergence,
                                        "s", "m")),
               kExitNonConvergence);
+    EXPECT_EQ(exitCodeForStatus(Status(StatusCode::Unavailable, "s", "m")),
+              kExitUnavailable);
     EXPECT_EQ(exitCodeForStatus(Status(StatusCode::Internal, "s", "m")),
               kExitError);
     EXPECT_EQ(exitCodeForStatus(Status(StatusCode::InvalidArgument,
@@ -418,6 +422,52 @@ TEST(Watchdog, ProgressHeartbeatSuppressesStallReports)
             noteProgress("test.busy");
     }
     EXPECT_EQ(watchdogStallCount(), before);
+    stopWatchdog();
+}
+
+TEST(Watchdog, ServeLoopHeartbeatsAndAWedgedBatcherIsReported)
+{
+    CancelGuard guard;
+    ThreadPool::instance().resize(1);
+
+    // A healthy serve run under the watchdog: the per-tick heartbeat
+    // keeps the stall count flat.
+    startWatchdog(10.0);
+    const int64_t before = watchdogStallCount();
+    {
+        ModelConfig cfg = testLlamaConfig();
+        cfg.vocabSize = 64;
+        cfg.dModel = 32;
+        cfg.nHeads = 4;
+        cfg.dFf = 64;
+        cfg.nLayers = 2;
+        cfg.maxSeq = 48;
+        TransformerModel model(cfg, 42);
+        ServeOptions opts;
+        opts.queueCapacity = 8;
+        WorkloadOptions wl;
+        wl.numRequests = 6;
+        wl.maxContextLen = 6;
+        wl.maxContinuationLen = 3;
+        wl.deadlineTicks = 256;
+        Server server(model, opts);
+        const ServeReport r = server.run(makeSyntheticWorkload(cfg, wl));
+        EXPECT_TRUE(r.status.ok()) << r.status.toString();
+    }
+    EXPECT_EQ(watchdogStallCount(), before);
+    stopWatchdog();
+
+    // A wedged batcher — the serve section open with no heartbeat —
+    // is reported (and only reported: the run is never killed).
+    startWatchdog(0.05);
+    const int64_t stalled = watchdogStallCount();
+    {
+        WatchdogSection section("serve");
+        std::this_thread::sleep_for( // lrd-lint: allow(blocking-sleep)
+            std::chrono::milliseconds(300));
+    }
+    EXPECT_GT(watchdogStallCount(), stalled);
+    EXPECT_FALSE(cancelRequested());
     stopWatchdog();
 }
 

@@ -27,6 +27,8 @@
 #include "robust/recovery.h"
 #include "robust/retry.h"
 #include "robust/signal.h"
+#include "serve/server.h"
+#include "serve/workload.h"
 #include "train/trainer.h"
 #include "util/status.h"
 
@@ -520,6 +522,31 @@ TEST(FaultSites, EveryRegisteredSiteSupportsCancelKill)
             const Result<std::vector<uint8_t>> r = readCheckpoint(path, 1);
             ASSERT_FALSE(r.ok());
             EXPECT_EQ(r.status().code(), StatusCode::Cancelled);
+        } else if (site == "serve.admit" || site == "serve.batch" ||
+                   site == "serve.respond") {
+            TransformerModel model(smallConfig(), 42);
+            ServeOptions opts;
+            opts.queueCapacity = 4;
+            opts.maxBatch = 2;
+            WorkloadOptions wl;
+            wl.numRequests = 8;
+            wl.deadlineTicks = 256;
+            Server server(model, opts);
+            setFault(FaultSpec{site, FaultKind::Cancel, 2});
+            const ServeReport r =
+                server.run(makeSyntheticWorkload(smallConfig(), wl));
+            EXPECT_EQ(r.status.code(), StatusCode::Cancelled)
+                << r.status.toString();
+            // The kill drains: every request still settles exactly
+            // once, the unscored remainder as Cancelled.
+            ASSERT_EQ(r.responses.size(), 8u);
+            int64_t cancelled = 0;
+            for (const ServeResponse &resp : r.responses) {
+                EXPECT_TRUE(serveOutcomeTerminal(resp.outcome));
+                cancelled += resp.outcome == ServeOutcome::Cancelled;
+            }
+            EXPECT_GT(cancelled, 0);
+            EXPECT_EQ(cancelled, r.stats.cancelled);
         } else {
             FAIL() << "registered fault site '" << site
                    << "' has no cancel-kill driver in this test; add one";

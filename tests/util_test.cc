@@ -13,6 +13,7 @@
 #include "util/cache.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -266,6 +267,30 @@ TEST(Bytes, TruncatedStreamIsFatal)
     ByteReader r(w.bytes());
     (void)r.getU32();
     EXPECT_THROW(r.getU64(), std::runtime_error);
+}
+
+TEST(Status, ServingCodesRoundTripThroughNameAndToString)
+{
+    // The serving layer leans on these two codes for its admission
+    // (shed) and delivery-failure contracts; their names are part of
+    // the CLI surface (lrdtool exit-code table, shed reports).
+    EXPECT_STREQ(statusCodeName(StatusCode::ResourceExhausted),
+                 "resource-exhausted");
+    EXPECT_STREQ(statusCodeName(StatusCode::Unavailable), "unavailable");
+
+    const Status shed(StatusCode::ResourceExhausted, "serve.admit",
+                      "queue at capacity");
+    EXPECT_FALSE(shed.ok());
+    EXPECT_EQ(shed.code(), StatusCode::ResourceExhausted);
+    EXPECT_EQ(shed.toString(),
+              "resource-exhausted at serve.admit: queue at capacity");
+
+    const Status undeliverable(StatusCode::Unavailable, "serve.respond",
+                               "delivery failed");
+    EXPECT_FALSE(undeliverable.ok());
+    EXPECT_EQ(undeliverable.code(), StatusCode::Unavailable);
+    EXPECT_EQ(undeliverable.toString(),
+              "unavailable at serve.respond: delivery failed");
 }
 
 TEST(Timer, MeasuresNonNegativeElapsed)

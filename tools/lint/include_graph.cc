@@ -8,7 +8,7 @@
  * Declared layering (lower may never include higher):
  *
  *   0 util -> 1 obs -> 2 robust -> 3 parallel -> 4 tensor,linalg ->
- *   5 model,decomp -> 6 hw,quant -> 7 eval,dse,train ->
+ *   5 model,decomp -> 6 hw,quant -> 7 eval,dse,train,serve ->
  *   8 tools,tests,bench,examples
  *
  * Edges within one layer (model -> decomp, dse -> eval, ...) are
@@ -45,8 +45,8 @@ const std::map<std::string, int> kLayerOf = {
     {"util", 0},   {"obs", 1},    {"robust", 2},   {"parallel", 3},
     {"tensor", 4}, {"linalg", 4}, {"model", 5},    {"decomp", 5},
     {"hw", 6},     {"quant", 6},  {"eval", 7},     {"dse", 7},
-    {"train", 7},  {"tools", 8},  {"tests", 8},    {"bench", 8},
-    {"examples", 8},
+    {"train", 7},  {"serve", 7},  {"tools", 8},    {"tests", 8},
+    {"bench", 8},  {"examples", 8},
 };
 
 std::string

@@ -16,6 +16,11 @@
  *   lrdtool train [flags]                 checkpointed training run
  *   lrdtool dse [flags]                   checkpointed Definition-1
  *                                         sweep on the tiny stand-in
+ *   lrdtool serve [flags]                 closed-loop serving run over
+ *                                         a request file or synthetic
+ *                                         workload
+ *   lrdtool loadgen [flags]               open-loop seeded arrival
+ *                                         process against the server
  *   lrdtool faults                        fault-injection site table
  *   lrdtool monitor <file> [--follow]     per-phase summary of a
  *                                         flight-recorder JSONL file
@@ -26,13 +31,14 @@
  * tiny-bert.
  *
  * Environment: LRD_THREADS, LRD_LOG, LRD_TRACE, LRD_STATS,
- * LRD_TELEMETRY, LRD_ROBUST, LRD_FAULT, LRD_DEADLINE, LRD_WATCHDOG
- * (see usage()).
+ * LRD_TELEMETRY, LRD_ROBUST, LRD_FAULT, LRD_DEADLINE, LRD_WATCHDOG,
+ * LRD_SERVE_* (see usage()).
  *
  * Exit codes (see README.md): 0 ok, 1 error, 2 degraded past the
  * failure budget, 3 cancelled (SIGINT/SIGTERM), 4 deadline exceeded,
- * 5 corrupt checkpoint, 6 non-convergence. A second signal force-exits
- * with the POSIX 128+signo code.
+ * 5 corrupt checkpoint, 6 non-convergence, 7 response delivery
+ * unavailable. A second signal force-exits with the POSIX 128+signo
+ * code.
  */
 
 #include <algorithm>
@@ -63,6 +69,9 @@
 #include "robust/checkpoint.h"
 #include "robust/fault.h"
 #include "robust/signal.h"
+#include "serve/load_control.h"
+#include "serve/server.h"
+#include "serve/workload.h"
 #include "tensor/simd/simd.h"
 #include "train/model_zoo.h"
 #include "train/trainer.h"
@@ -436,6 +445,140 @@ cmdDse(const Flags &flags)
     return exitCodeForStatus(r.status);
 }
 
+/**
+ * Digest of the full response vector (ids, outcomes, score bit
+ * patterns, settle ticks). Two serve runs of the same seed workload
+ * must print the same CRC at any LRD_THREADS — scripts diff this
+ * directly instead of parsing every response.
+ */
+uint32_t
+responseDigest(const std::vector<ServeResponse> &responses)
+{
+    std::vector<uint8_t> bytes;
+    bytes.reserve(responses.size() * 24);
+    const auto append = [&](const void *p, size_t n) {
+        const auto *b = static_cast<const uint8_t *>(p);
+        bytes.insert(bytes.end(), b, b + n);
+    };
+    for (const ServeResponse &resp : responses) {
+        append(&resp.id, sizeof(resp.id));
+        const auto outcome = static_cast<int32_t>(resp.outcome);
+        append(&outcome, sizeof(outcome));
+        const auto degraded = static_cast<int32_t>(resp.degraded);
+        append(&degraded, sizeof(degraded));
+        append(&resp.score, sizeof(resp.score));
+        append(&resp.settledTick, sizeof(resp.settledTick));
+    }
+    return crc32(bytes);
+}
+
+/**
+ * Drive the serving layer over a workload and report the outcome mix,
+ * latency quantiles, and the degradation ladder's deepest rung.
+ * Closed loop (serve): every request arrives at tick 0, so admission
+ * control and the ladder face the full burst. Open loop (loadgen):
+ * arrivals follow a seeded gap process at a configurable rate.
+ */
+int
+runServeCommand(const Flags &flags, bool openLoop)
+{
+    // Serving reports through obs metrics (and the flight recorder
+    // when LRD_TELEMETRY is set), so recording must be on.
+    MetricsRegistry::instance().setEnabled(true);
+    ServeOptions opts = ServeOptions::fromEnv();
+    opts.queueCapacity =
+        flags.num("queue", static_cast<int>(opts.queueCapacity));
+    opts.maxBatch = flags.num("batch", static_cast<int>(opts.maxBatch));
+    opts.maxClientAttempts =
+        flags.num("retries", opts.maxClientAttempts);
+    opts.retryBackoffBaseTicks = flags.num(
+        "backoff", static_cast<int>(opts.retryBackoffBaseTicks));
+    opts.fallbackRank = flags.num(
+        "fallback-rank",
+        static_cast<int>(opts.fallbackRank > 0 ? opts.fallbackRank : 2));
+    opts.defaultDeadlineTicks = flags.num(
+        "deadline", static_cast<int>(opts.defaultDeadlineTicks));
+
+    // The untrained tiny model serves by default: synthetic workloads
+    // only need deterministic scores, and chaos/CI runs should not
+    // pay the train-once cache fill. --pretrained opts into the zoo.
+    TransformerModel model =
+        flags.has("pretrained")
+            ? pretrainedTinyLlama()
+            : TransformerModel(tinyLlamaConfig(), /*seed=*/1001);
+
+    std::vector<ServeRequest> workload;
+    if (flags.has("file")) {
+        Result<std::vector<ServeRequest>> loaded = loadWorkloadFile(
+            flags.str("file"), opts.defaultDeadlineTicks);
+        if (!loaded.ok()) {
+            std::fprintf(stderr, "serve: %s\n",
+                         loaded.status().toString().c_str());
+            return exitCodeForStatus(loaded.status());
+        }
+        workload = std::move(loaded).value();
+    } else {
+        WorkloadOptions w;
+        w.numRequests = flags.num("requests", openLoop ? 96 : 48);
+        w.tenants = flags.num("tenants", 4);
+        w.deadlineTicks = opts.defaultDeadlineTicks;
+        w.maxArrivalGapTicks = openLoop ? flags.num("gap", 2) : 0;
+        w.seed = static_cast<uint64_t>(flags.num("seed", 42));
+        workload = makeSyntheticWorkload(model.config(), w);
+    }
+
+    inform(strCat(openLoop ? "loadgen" : "serve", ": ", workload.size(),
+                  " requests, queue ", opts.queueCapacity, ", batch ",
+                  opts.maxBatch, ", ", parallelWorkers(),
+                  " worker thread(s)"));
+    Server server(model, opts);
+    const ServeReport report = server.run(std::move(workload));
+    const ServeStats &s = report.stats;
+
+    TablePrinter outcomes("Serving outcomes");
+    outcomes.setHeader({"outcome", "count"});
+    outcomes.addRow({"responded",
+                     strCat(s.responded, s.degradedResponses > 0
+                                             ? strCat(" (",
+                                                      s.degradedResponses,
+                                                      " degraded)")
+                                             : std::string())});
+    outcomes.addRow({"shed", std::to_string(s.shed)});
+    outcomes.addRow({"deadline-missed", std::to_string(s.deadlineMissed)});
+    outcomes.addRow({"cancelled", std::to_string(s.cancelled)});
+    outcomes.addRow({"unavailable", std::to_string(s.unavailable)});
+    outcomes.print();
+
+    const auto total = static_cast<double>(report.responses.size());
+    std::printf("offers     %lld admitted / %lld total (%lld client "
+                "retries)\n",
+                static_cast<long long>(s.admitted),
+                static_cast<long long>(s.offered),
+                static_cast<long long>(s.clientRetries));
+    std::printf("latency    p50 %.0f ticks, p99 %.0f ticks\n",
+                s.p50LatencyTicks, s.p99LatencyTicks);
+    std::printf("rates      shed %.1f%%  deadline-miss %.1f%%\n",
+                100.0 * static_cast<double>(s.shed) / total,
+                100.0 * static_cast<double>(s.deadlineMissed) / total);
+    std::printf("throughput %.1f req/s (%lld batches over %lld ticks, "
+                "%.3f s)\n",
+                s.throughputRps, static_cast<long long>(s.batches),
+                static_cast<long long>(s.ticks), s.wallSeconds);
+    std::printf("ladder     deepest rung %s\n",
+                serviceLevelName(
+                    static_cast<ServiceLevel>(s.maxServiceLevel)));
+    std::printf("responses  crc32 %08x\n",
+                responseDigest(report.responses));
+    std::printf("status     %s\n", report.status.ok()
+                                       ? "completed"
+                                       : report.status.toString().c_str());
+    if (!report.status.ok())
+        return exitCodeForStatus(report.status);
+    if (s.unavailable > 0)
+        return kExitUnavailable;
+    return 0;
+}
+
 /** One flight-recorder file, split by record type. */
 struct TelemetryFile
 {
@@ -565,6 +708,61 @@ printPhaseTable(const TelemetryFile &tf)
                           static_cast<double>(agg.arenaPeak) / 1e6, 1)});
     }
     table.print();
+    // Serving runs get their own rollup: outcome counters, the
+    // degradation ladder's resting level, and latency quantiles —
+    // the operator view of admission control under load.
+    if (tf.hasFinal) {
+        const JsonValue &fin = tf.finalRecord;
+        const auto counterAt = [&](const char *name) {
+            const JsonValue *c = fin.findPath({"counters", name});
+            return c != nullptr ? c->asInt() : 0;
+        };
+        if (counterAt("serve.ticks") > 0) {
+            TablePrinter serve("Serving & admission control");
+            serve.setHeader({"metric", "value"});
+            serve.addRow({"admitted",
+                          std::to_string(counterAt("serve.admitted"))});
+            serve.addRow({"shed",
+                          std::to_string(counterAt("serve.shed"))});
+            serve.addRow({"responded",
+                          std::to_string(counterAt("serve.responded"))});
+            serve.addRow(
+                {"deadline missed",
+                 std::to_string(counterAt("serve.deadline.missed"))});
+            serve.addRow({"cancelled",
+                          std::to_string(counterAt("serve.cancelled"))});
+            serve.addRow(
+                {"unavailable",
+                 std::to_string(counterAt("serve.unavailable"))});
+            serve.addRow({"client retries",
+                          std::to_string(
+                              counterAt("serve.client.retries"))});
+            serve.addRow(
+                {"batches / ticks",
+                 strCat(counterAt("serve.batches"), " / ",
+                        counterAt("serve.ticks"))});
+            const JsonValue *level =
+                fin.findPath({"gauges", "serve.degrade.level"});
+            serve.addRow(
+                {"ladder level",
+                 strCat(serviceLevelName(static_cast<ServiceLevel>(
+                            level != nullptr
+                                ? static_cast<int>(level->asNumber())
+                                : 0)),
+                        " (", counterAt("serve.degrade.transitions"),
+                        " transitions)")});
+            if (const JsonValue *lat =
+                    fin.findPath({"hist", "serve.latency.ticks"}))
+                serve.addRow(
+                    {"latency ticks p50/p99",
+                     strCat(TablePrinter::num(lat->numberOr("p50", 0.0),
+                                              1),
+                            " / ",
+                            TablePrinter::num(lat->numberOr("p99", 0.0),
+                                              1))});
+            serve.print();
+        }
+    }
     if (tf.hasFinal)
         std::printf("final: %lld samples over %.2f s (%lld rotations)\n",
                     static_cast<long long>(
@@ -801,6 +999,12 @@ usage()
         "  stats [reduction-percent]     (default 50)\n"
         "  train [--steps=N] [--ckpt=FILE] [--every=N] [--resume]\n"
         "  dse   [--tasks=N] [--ckpt=FILE] [--every=N] [--resume]\n"
+        "  serve [--requests=N] [--file=JSONL] [--queue=N] [--batch=N]\n"
+        "        [--retries=N] [--backoff=N] [--fallback-rank=N]\n"
+        "        [--deadline=N] [--seed=N] [--tenants=N] [--pretrained]\n"
+        "                                closed-loop serving run\n"
+        "  loadgen [serve flags] [--gap=N]\n"
+        "                                open-loop seeded arrivals\n"
         "  faults                        fault-injection site table\n"
         "  monitor <file> [--follow]     per-phase summary of a\n"
         "                                flight-recorder JSONL file\n"
@@ -828,10 +1032,20 @@ usage()
         "                      wall:<secs> (wall clock)\n"
         "  LRD_WATCHDOG=<secs> report stalled pipelines after <secs>\n"
         "                      without progress (report-only)\n"
+        "  LRD_SERVE_QUEUE=<n>     serve: bounded request-queue capacity\n"
+        "  LRD_SERVE_BATCH=<n>     serve: max batch size per tick\n"
+        "  LRD_SERVE_RETRIES=<n>   serve: admission attempts per request\n"
+        "  LRD_SERVE_BACKOFF=<n>   serve: client backoff base (ticks)\n"
+        "  LRD_SERVE_FALLBACK_RANK=<n>\n"
+        "                      serve: pruned rank of the degradation-\n"
+        "                      ladder fallback variant (0 = off)\n"
+        "  LRD_SERVE_DEADLINE=<n>  serve: default per-request deadline\n"
+        "                      (ticks after arrival)\n"
         "  LRD_SANITIZE        build-time option (see CMakeLists.txt)\n"
         "exit codes:\n"
         "  0 ok  1 error  2 degraded past failure budget  3 cancelled\n"
         "  4 deadline exceeded  5 corrupt checkpoint  6 non-convergence\n"
+        "  7 response delivery unavailable\n"
         "  (a second SIGINT/SIGTERM force-exits with 128+signo)\n");
 }
 
@@ -892,6 +1106,12 @@ main(int argc, char **argv)
             ret = cmdTrain(Flags::parse(argc, argv, 2));
         else if (cmd == "dse")
             ret = cmdDse(Flags::parse(argc, argv, 2));
+        else if (cmd == "serve")
+            ret = runServeCommand(Flags::parse(argc, argv, 2),
+                                  /*openLoop=*/false);
+        else if (cmd == "loadgen")
+            ret = runServeCommand(Flags::parse(argc, argv, 2),
+                                  /*openLoop=*/true);
         else if (cmd == "faults")
             ret = cmdFaults();
         else if (cmd == "monitor" && argc >= 3)
