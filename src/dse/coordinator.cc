@@ -1,0 +1,392 @@
+#include "coordinator.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dse/optimizer.h"
+#include "obs/metrics.h"
+#include "robust/cancel.h"
+#include "robust/checkpoint.h"
+#include "robust/fault.h"
+#include "robust/retry.h"
+#include "robust/signal.h"
+#include "util/logging.h"
+
+namespace fs = std::filesystem;
+
+namespace lrd {
+
+Result<OptimizerResult>
+runDseShard(const std::vector<uint8_t> &modelBytes, const World &world,
+            OptimizerOptions opts, const ShardSpec &shard,
+            const std::string &dir)
+{
+    if (shard.count < 1 || shard.index < 0 || shard.index >= shard.count)
+        return Status(StatusCode::InvalidArgument, "dse.shard",
+                      strCat("bad shard spec ", shard.index, "/",
+                             shard.count));
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        return Status(StatusCode::InvalidArgument, "dse.shard",
+                      strCat("cannot create results dir ", dir, ": ",
+                             ec.message()));
+
+    // A relaunch inherits the cumulative evaluation count from the
+    // previous attempt's lease; a live holder means another process
+    // is still sweeping this shard and we must not double-run it.
+    const std::string leasePath = shardLeasePath(dir, shard.index);
+    int64_t evalsEverBase = 0;
+    Result<ShardLease> prior = readShardLease(leasePath);
+    if (prior.ok()) {
+        const ShardLease &lease = prior.value();
+        if (lease.pid != static_cast<int64_t>(::getpid())
+            && processAlive(lease.pid))
+            return Status(StatusCode::InvalidArgument, "dse.shard",
+                          strCat("shard ", shard.index,
+                                 " lease held by live pid ", lease.pid));
+        evalsEverBase = lease.evalsEver;
+    } else if (prior.status().code() == StatusCode::DataLoss) {
+        warn("dse: shard " + std::to_string(shard.index)
+             + " lease unreadable; restarting its evaluation count: "
+             + prior.status().toString());
+    }
+    Status claim = writeShardLease(
+        leasePath,
+        ShardLease{static_cast<int64_t>(::getpid()), evalsEverBase});
+    if (!claim.ok())
+        return claim;
+
+    opts.shardIndex = shard.index;
+    opts.shardCount = shard.count;
+    opts.checkpointPath = shardCheckpointPath(dir, shard.index);
+    opts.leasePath = leasePath;
+    opts.evalsEverBase = evalsEverBase;
+    opts.resume = true;
+
+    OptimizerResult result = optimizeDecomposition(modelBytes, world, opts);
+    if (result.cancelled)
+        // Checkpoint and lease stay behind: the next attempt resumes
+        // from them instead of re-evaluating the completed prefix.
+        return result.status;
+
+    ShardResultFile out;
+    out.shard = shard;
+    out.gridSize = static_cast<uint64_t>(result.gridSize);
+    out.evalsEver = evalsEverBase + result.evaluatedThisRun;
+    out.baselineAccuracy = result.baselineAccuracy;
+    out.baselineEdp = result.baselineEdp;
+    out.records = result.explored; // Already gridIndex-ascending.
+    Status ws = writeShardResultFile(shardResultPath(dir, shard.index),
+                                     out);
+    if (!ws.ok())
+        return ws;
+    // The evaluation count now lives in the result file; dropping the
+    // lease (and its checkpoint-rotation sibling, which the fallback
+    // reader would otherwise resurrect) tells the supervisor this
+    // shard needs no reclamation.
+    fs::remove(leasePath, ec);
+    fs::remove(leasePath + ".prev", ec);
+    return result;
+}
+
+namespace {
+
+/** Replace every "{shard}" in `arg` with "index/count". */
+std::string
+substituteShardToken(const std::string &arg, int index, int count)
+{
+    static const char token[] = "{shard}";
+    std::string outArg;
+    size_t pos = 0;
+    for (;;) {
+        const size_t hit = arg.find(token, pos);
+        if (hit == std::string::npos) {
+            outArg.append(arg, pos, std::string::npos);
+            return outArg;
+        }
+        outArg.append(arg, pos, hit - pos);
+        outArg += strCat(index, "/", count);
+        pos = hit + sizeof(token) - 1;
+    }
+}
+
+/** Human description of a waitpid status. */
+std::string
+describeExit(int waitStatus)
+{
+    if (WIFEXITED(waitStatus))
+        return strCat("exit code ", WEXITSTATUS(waitStatus));
+    if (WIFSIGNALED(waitStatus))
+        return strCat("killed by signal ", WTERMSIG(waitStatus));
+    return strCat("wait status ", waitStatus);
+}
+
+} // namespace
+
+SupervisorReport
+superviseDse(const SupervisorOptions &opts)
+{
+    static Counter *launchedCtr =
+        MetricsRegistry::instance().counter("dse.shard.launched");
+    static Counter *retriedCtr =
+        MetricsRegistry::instance().counter("dse.shard.retried");
+    static Counter *reclaimedCtr =
+        MetricsRegistry::instance().counter("dse.shard.reclaimed");
+    static Counter *failedCtr =
+        MetricsRegistry::instance().counter("dse.shard.failed");
+
+    SupervisorReport rep;
+    if (opts.shards < 1 || opts.shards > 4096) {
+        rep.status = Status(StatusCode::InvalidArgument, "dse.shard",
+                            strCat("shard count ", opts.shards,
+                                   " outside [1, 4096]"));
+        return rep;
+    }
+    if (opts.childArgs.empty()) {
+        rep.status = Status(StatusCode::InvalidArgument, "dse.shard",
+                            "supervisor needs a child argv");
+        return rep;
+    }
+    std::error_code ec;
+    fs::create_directories(opts.dir, ec);
+    if (ec) {
+        rep.status =
+            Status(StatusCode::InvalidArgument, "dse.shard",
+                   strCat("cannot create results dir ", opts.dir, ": ",
+                          ec.message()));
+        return rep;
+    }
+
+    // Startup reconciliation: sweep half-written checkpoints whose
+    // writers are gone, skip shards that already finished, and
+    // reclaim leases whose holders died or stopped heartbeating. The
+    // reclaimed lease file is kept — its evaluation count must
+    // survive into the relaunch so recomputed work stays countable.
+    rep.orphanTmpsSwept = sweepOrphanCheckpointTmps(opts.dir);
+
+    struct ShardState
+    {
+        int attempts = 0; ///< Launches so far (first try included).
+        pid_t pid = -1;
+        bool done = false;
+    };
+    std::vector<ShardState> shards(opts.shards);
+
+    for (int i = 0; i < opts.shards; ++i) {
+        if (readShardResultFile(shardResultPath(opts.dir, i)).ok()) {
+            shards[i].done = true;
+            ++rep.skipped;
+            continue;
+        }
+        const std::string leasePath = shardLeasePath(opts.dir, i);
+        Result<ShardLease> lease = readShardLease(leasePath);
+        if (!lease.ok())
+            continue; // Absent or corrupt: the child rewrites it.
+        const double age = shardLeaseAgeSeconds(leasePath);
+        const bool fresh = age >= 0 && age <= opts.staleLeaseSeconds;
+        if (processAlive(lease.value().pid) && fresh) {
+            rep.status = Status(
+                StatusCode::InvalidArgument, "dse.shard",
+                strCat("shard ", i, " lease held by live pid ",
+                       lease.value().pid, " (heartbeat ", age,
+                       "s old): another supervisor owns ", opts.dir));
+            return rep;
+        }
+        warn(strCat("dse: reclaiming shard ", i, " lease (pid ",
+                    lease.value().pid, ", heartbeat ", age, "s old, ",
+                    lease.value().evalsEver, " evals banked)"));
+        ++rep.reclaimed;
+        reclaimedCtr->inc();
+    }
+
+    const auto terminateRunning = [&shards] {
+        for (ShardState &s : shards)
+            if (s.pid > 0)
+                ::kill(s.pid, SIGTERM);
+        for (ShardState &s : shards) {
+            if (s.pid <= 0)
+                continue;
+            int waitStatus = 0;
+            while (::waitpid(s.pid, &waitStatus, 0) < 0
+                   && errno == EINTR) {
+            }
+            s.pid = -1;
+        }
+    };
+
+    // One launch attempt: cancellation poll, injected spawn faults,
+    // then fork/exec. The child sheds the supervisor's observability
+    // sinks so its shutdown flush cannot clobber parent artifacts,
+    // and _exit(127)s if exec fails (the shell convention).
+    const auto spawnOnce = [&](int i) -> Status {
+        pollCancelFault("dse.shard.spawn");
+        Status cancel = checkCancellation("dse.shard.spawn");
+        if (!cancel.ok())
+            return cancel;
+        if (faultAt("dse.shard.spawn", FaultKind::Alloc))
+            return Status(StatusCode::ResourceExhausted,
+                          "dse.shard.spawn",
+                          "injected allocation failure");
+        std::vector<std::string> argvStore;
+        argvStore.reserve(opts.childArgs.size());
+        for (const std::string &arg : opts.childArgs)
+            argvStore.push_back(
+                substituteShardToken(arg, i, opts.shards));
+        std::vector<char *> argv;
+        argv.reserve(argvStore.size() + 1);
+        for (std::string &arg : argvStore)
+            argv.push_back(arg.data());
+        argv.push_back(nullptr);
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            return Status(StatusCode::ResourceExhausted,
+                          "dse.shard.spawn",
+                          strCat("fork failed: errno ", errno));
+        if (pid == 0) {
+            ::unsetenv("LRD_TELEMETRY");
+            ::unsetenv("LRD_TRACE");
+            ::unsetenv("LRD_STATS");
+            ::execv(argv[0], argv.data());
+            ::_exit(127);
+        }
+        shards[i].pid = pid;
+        ++rep.launched;
+        launchedCtr->inc();
+        inform(strCat("dse: launched shard ", i, "/", opts.shards,
+                      " as pid ", pid, " (attempt ",
+                      shards[i].attempts, ")"));
+        return Status();
+    };
+
+    // Launch with the retry budget applied to failed spawns too: a
+    // fork/exec that never produced a child still consumes an
+    // attempt, with the same backoff schedule as a crashed one.
+    const auto launchShard = [&](int i) -> Status {
+        for (;;) {
+            ++shards[i].attempts;
+            Status s = spawnOnce(i);
+            if (s.ok())
+                return s;
+            if (s.code() == StatusCode::Cancelled
+                || s.code() == StatusCode::DeadlineExceeded)
+                return s;
+            warn(strCat("dse: shard ", i, " launch attempt ",
+                        shards[i].attempts, " failed: ", s.toString()));
+            if (shards[i].attempts > opts.maxRetries) {
+                ++rep.failed;
+                failedCtr->inc();
+                return Status(StatusCode::Internal, "dse.shard.retry",
+                              strCat("shard ", i, " failed after ",
+                                     shards[i].attempts,
+                                     " attempts (last: ", s.toString(),
+                                     ")"));
+            }
+            ++rep.retried;
+            retriedCtr->inc();
+            sleepForBackoff(backoffTicks(opts.backoffBaseTicks,
+                                         shards[i].attempts - 1));
+        }
+    };
+
+    int running = 0;
+    for (int i = 0; i < opts.shards && rep.status.ok(); ++i) {
+        if (shards[i].done)
+            continue;
+        rep.status = launchShard(i);
+        if (rep.status.ok())
+            ++running;
+    }
+
+    // Supervision loop: block in waitpid until a child changes state.
+    // EINTR is the cancellation path — a SIGINT/SIGTERM to the
+    // supervisor interrupts the wait, we notice the cooperative
+    // cancel, and the children get SIGTERMed below.
+    while (running > 0 && rep.status.ok()) {
+        int waitStatus = 0;
+        const pid_t pid = ::waitpid(-1, &waitStatus, 0);
+        if (pid < 0) {
+            if (errno == EINTR) {
+                Status cancel = checkCancellation("dse.shard.spawn");
+                if (!cancel.ok())
+                    rep.status = cancel;
+                continue;
+            }
+            rep.status = Status(
+                StatusCode::Internal, "dse.shard",
+                strCat("waitpid failed with errno ", errno, " while ",
+                       running, " shards were running"));
+            break;
+        }
+        int idx = -1;
+        for (int i = 0; i < opts.shards; ++i)
+            if (shards[i].pid == pid)
+                idx = i;
+        if (idx < 0)
+            continue; // Some other subsystem's child; not ours.
+        shards[idx].pid = -1;
+        --running;
+
+        // "Success" is exit 0 AND a readable result file: a child
+        // killed between its result write and exit, or one that
+        // exited cleanly without finishing, both count as failures
+        // and rerun from their checkpoint.
+        const bool exitedOk =
+            WIFEXITED(waitStatus) && WEXITSTATUS(waitStatus) == 0;
+        if (exitedOk
+            && readShardResultFile(shardResultPath(opts.dir, idx))
+                   .ok()) {
+            shards[idx].done = true;
+            inform(strCat("dse: shard ", idx, " completed (attempt ",
+                          shards[idx].attempts, ")"));
+            continue;
+        }
+        const std::string why =
+            exitedOk ? std::string("exit 0 without a result file")
+                     : describeExit(waitStatus);
+        warn(strCat("dse: shard ", idx, " attempt ",
+                    shards[idx].attempts, " died: ", why));
+        if (shards[idx].attempts > opts.maxRetries) {
+            ++rep.failed;
+            failedCtr->inc();
+            rep.status = Status(
+                StatusCode::Internal, "dse.shard.retry",
+                strCat("shard ", idx, " failed after ",
+                       shards[idx].attempts, " attempts (last: ", why,
+                       ")"));
+            break;
+        }
+        ++rep.retried;
+        retriedCtr->inc();
+        sleepForBackoff(backoffTicks(opts.backoffBaseTicks,
+                                     shards[idx].attempts - 1));
+        rep.status = launchShard(idx);
+        if (rep.status.ok())
+            ++running;
+    }
+
+    if (!rep.status.ok()) {
+        terminateRunning();
+        return rep;
+    }
+
+    Result<MergeReport> merge = mergeShardResults(
+        opts.dir, opts.shards, opts.accuracyDropTolerance);
+    if (!merge.ok()) {
+        rep.status = merge.status();
+        return rep;
+    }
+    rep.result = std::move(merge.value().result);
+    rep.shardsMerged = merge.value().shardsMerged;
+    rep.evalsEver = merge.value().evalsEver;
+    rep.recomputed = merge.value().recomputed;
+    return rep;
+}
+
+} // namespace lrd

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Crash-safe supervision of a sharded DSE sweep.
+ *
+ * The supervisor (`lrdtool dse --supervise=n`) spawns one child
+ * process per shard with plain fork/exec — coordination is files in a
+ * shared results directory (dse/shard.h), never RPC — and watches
+ * exit codes. A shard that dies is relaunched with exponential
+ * backoff (backoffTicks / sleepForBackoff) up to a bounded retry
+ * budget; the relaunch resumes from the shard's own checkpoint, so
+ * completed candidates are never re-evaluated and never
+ * double-counted. When every shard has landed its result file, the
+ * supervisor folds them into output bitwise identical to a serial
+ * `lrdtool dse` run.
+ *
+ * Supervision state machine, per shard:
+ *
+ *     pending --spawn--> running --exit 0 + result file--> done
+ *        ^                  |
+ *        |                  +--exit != 0 / missing result--+
+ *        |                                                 |
+ *        +---- attempts <= maxRetries: backoff, respawn ---+
+ *                                                          |
+ *              attempts >  maxRetries: FAILED  <-----------+
+ *                          (Status at site "dse.shard.retry";
+ *                           lrdtool maps it to exit code 8)
+ *
+ * Startup reconciliation: orphaned checkpoint `.tmp` files from dead
+ * writers are swept, stale leases (dead pid, or heartbeat older than
+ * staleLeaseSeconds) are reclaimed — the lease file itself is kept so
+ * the relaunch inherits its cumulative evaluation count — and shards
+ * that already have a valid result file are skipped entirely.
+ */
+
+#ifndef LRD_DSE_COORDINATOR_H
+#define LRD_DSE_COORDINATOR_H
+
+#include <string>
+#include <vector>
+
+#include "dse/shard.h"
+
+namespace lrd {
+
+/**
+ * Run one shard of the sweep in this process: claim the shard's
+ * lease (refusing if a live other process holds a fresh one), resume
+ * from the shard checkpoint when present, evaluate the owned slots,
+ * and on clean completion write shard-<i>.result and drop the lease.
+ * A cancelled sweep returns its Cancelled/DeadlineExceeded status and
+ * leaves checkpoint + lease behind for the next attempt.
+ */
+Result<OptimizerResult> runDseShard(const std::vector<uint8_t> &modelBytes,
+                                    const World &world,
+                                    OptimizerOptions opts,
+                                    const ShardSpec &shard,
+                                    const std::string &dir);
+
+/** Supervisor knobs. */
+struct SupervisorOptions
+{
+    int shards = 1;            ///< Number of child shards to run.
+    std::string dir;           ///< Shared results directory.
+    /**
+     * argv of a shard child; every "{shard}" token is replaced with
+     * "i/n". Children inherit the environment minus the supervisor's
+     * observability sinks (LRD_TELEMETRY / LRD_TRACE / LRD_STATS), so
+     * child flushes cannot clobber the parent's artifacts.
+     */
+    std::vector<std::string> childArgs;
+    int maxRetries = 3;        ///< Relaunches allowed per shard.
+    int64_t backoffBaseTicks = 100;  ///< ms; doubles per attempt.
+    double staleLeaseSeconds = 900;  ///< Heartbeat age → stale.
+    double accuracyDropTolerance = 0.05; ///< tau, for the merge fold.
+};
+
+/** What the supervisor did, for the CLI rollup and the chaos gate. */
+struct SupervisorReport
+{
+    Status status;          ///< Ok, or why supervision stopped.
+    OptimizerResult result; ///< Merged result (when status is ok).
+    int launched = 0;       ///< Child processes spawned (incl retries).
+    int retried = 0;        ///< Relaunches after a failed attempt.
+    int reclaimed = 0;      ///< Stale leases taken over at startup.
+    int skipped = 0;        ///< Shards already complete at startup.
+    int failed = 0;         ///< Shards that exhausted the retry budget.
+    int shardsMerged = 0;
+    int64_t evalsEver = 0;  ///< Candidate evaluations, all attempts.
+    int64_t recomputed = 0; ///< Evaluations beyond one per grid slot.
+    int64_t orphanTmpsSwept = 0;
+};
+
+/**
+ * Supervise `opts.shards` shard children to completion, then merge.
+ * Fault sites: "dse.shard.spawn" (alloc = failed launch attempt,
+ * cancel = cooperative stop) and "dse.shard.merge" via
+ * mergeShardResults. A shard that fails past maxRetries terminates
+ * the remaining children and yields a Status at site
+ * "dse.shard.retry" (→ exit code 8 in lrdtool).
+ */
+SupervisorReport superviseDse(const SupervisorOptions &opts);
+
+} // namespace lrd
+
+#endif // LRD_DSE_COORDINATOR_H

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <limits>
 
+#include <unistd.h>
+
 #include "dse/schedules.h"
+#include "dse/shard.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
@@ -23,8 +26,9 @@ OptimizerOptions::OptimizerOptions()
 
 namespace {
 
-/** Payload-format version of DSE checkpoints. */
-constexpr uint32_t kDseCkptVersion = 1;
+/** Payload-format version of DSE checkpoints. v2 added the grid
+ *  index and feasibility flag to serialized candidate records. */
+constexpr uint32_t kDseCkptVersion = 2;
 
 /** One point of the pruned candidate grid. */
 struct Candidate
@@ -33,75 +37,10 @@ struct Candidate
     int count;
 };
 
-void
-putDecompConfig(ByteWriter &w, const DecompConfig &c)
-{
-    w.putU64(c.layers.size());
-    for (int l : c.layers)
-        w.putU32(static_cast<uint32_t>(l));
-    w.putU64(c.tensors.size());
-    for (WeightKind k : c.tensors)
-        w.putU32(static_cast<uint32_t>(k));
-    w.putU64(static_cast<uint64_t>(c.prunedRank));
-    w.putU64(c.rankOverrides.size());
-    for (const auto &[key, rank] : c.rankOverrides) {
-        w.putU32(static_cast<uint32_t>(key.first));
-        w.putU32(static_cast<uint32_t>(key.second));
-        w.putU64(static_cast<uint64_t>(rank));
-    }
-}
-
-DecompConfig
-getDecompConfig(ByteReader &r)
-{
-    DecompConfig c;
-    const uint64_t nLayers = r.getU64();
-    c.layers.resize(nLayers);
-    for (uint64_t i = 0; i < nLayers; ++i)
-        c.layers[i] = static_cast<int>(r.getU32());
-    const uint64_t nTensors = r.getU64();
-    c.tensors.resize(nTensors);
-    for (uint64_t i = 0; i < nTensors; ++i)
-        c.tensors[i] = static_cast<WeightKind>(r.getU32());
-    c.prunedRank = static_cast<int64_t>(r.getU64());
-    const uint64_t nOverrides = r.getU64();
-    for (uint64_t i = 0; i < nOverrides; ++i) {
-        const int layer = static_cast<int>(r.getU32());
-        const int kind = static_cast<int>(r.getU32());
-        c.rankOverrides[{layer, kind}] = static_cast<int64_t>(r.getU64());
-    }
-    return c;
-}
-
-// All metric doubles round-trip as raw f64 bits, so a resumed sweep
-// reports bitwise the same records as an uninterrupted one.
-void
-putCandidateRecord(ByteWriter &w, const CandidateRecord &rec)
-{
-    putDecompConfig(w, rec.config);
-    w.putF64(rec.accuracy);
-    w.putF64(rec.latencySec);
-    w.putF64(rec.energyJ);
-    w.putF64(rec.edp);
-    w.putF64(rec.reduction);
-    w.putU32(rec.failed ? 1 : 0);
-    w.putString(rec.failure);
-}
-
-CandidateRecord
-getCandidateRecord(ByteReader &r)
-{
-    CandidateRecord rec;
-    rec.config = getDecompConfig(r);
-    rec.accuracy = r.getF64();
-    rec.latencySec = r.getF64();
-    rec.energyJ = r.getF64();
-    rec.edp = r.getF64();
-    rec.reduction = r.getF64();
-    rec.failed = r.getU32() != 0;
-    rec.failure = r.getString();
-    return rec;
-}
+// Record (de)serialization is shared with the shard protocol — see
+// putCandidateRecord/getCandidateRecord in dse/shard.h. All metric
+// doubles round-trip as raw f64 bits, so a resumed sweep reports
+// bitwise the same records as an uninterrupted one.
 
 void
 writeDseCheckpoint(const OptimizerOptions &opts,
@@ -208,6 +147,31 @@ optimizeDecomposition(const std::vector<uint8_t> &modelBytes,
 
     std::vector<CandidateRecord> records(grid.size());
     std::vector<uint8_t> done(grid.size(), 0);
+    result.gridSize = static_cast<int64_t>(grid.size());
+
+    // Sharded sweeps: this process only evaluates the slots whose
+    // stable key hash lands on its shard. The mask depends purely on
+    // the grid coordinates and shardCount — never on LRD_THREADS or
+    // timing — so every run partitions identically.
+    require(opts.shardCount >= 1 && opts.shardIndex >= 0
+                && opts.shardIndex < opts.shardCount,
+            "optimizeDecomposition: bad shard spec");
+    std::vector<uint8_t> owned(grid.size(), 1);
+    if (opts.shardCount > 1) {
+        int64_t numOwned = 0;
+        for (size_t i = 0; i < grid.size(); ++i) {
+            owned[i] = shardOfKey(candidateShardKey(grid[i].rank,
+                                                    grid[i].count),
+                                  opts.shardCount)
+                               == opts.shardIndex
+                           ? 1
+                           : 0;
+            numOwned += owned[i];
+        }
+        inform(strCat("dse: shard ", opts.shardIndex, "/",
+                      opts.shardCount, " owns ", numOwned, " of ",
+                      grid.size(), " candidates"));
+    }
 
     bool resumed = false;
     if (opts.resume && !opts.checkpointPath.empty()) {
@@ -254,6 +218,8 @@ optimizeDecomposition(const std::vector<uint8_t> &modelBytes,
                 static Counter *candidates =
                     MetricsRegistry::instance().counter("dse.candidates");
                 for (int64_t idx = lo; idx < hi; ++idx) {
+                    if (owned[static_cast<size_t>(idx)] == 0)
+                        continue; // Another shard's slot.
                     if (done[static_cast<size_t>(idx)] != 0)
                         continue; // Already evaluated before resume.
                     LRD_TRACE_SPAN("dse.candidate");
@@ -268,6 +234,7 @@ optimizeDecomposition(const std::vector<uint8_t> &modelBytes,
 
                     CandidateRecord rec;
                     rec.config = gamma;
+                    rec.gridIndex = idx;
                     auto evaluate = [&] {
                         TransformerModel model =
                             TransformerModel::deserialize(modelBytes);
@@ -309,6 +276,13 @@ optimizeDecomposition(const std::vector<uint8_t> &modelBytes,
                 }
             });
     };
+    const auto countDone = [&] {
+        int64_t n = 0;
+        for (uint8_t d : done)
+            n += d != 0;
+        return n;
+    };
+    const int64_t doneAtStart = countDone();
     for (int64_t batchStart = 0; batchStart < total;
          batchStart += stride) {
         // Batch boundaries are the sweep's cancellation points: a
@@ -328,6 +302,20 @@ optimizeDecomposition(const std::vector<uint8_t> &modelBytes,
             // Re-check: a signal may have landed mid-batch.
             cancel = checkCancellation("dse.batch");
         }
+        result.evaluatedThisRun = countDone() - doneAtStart;
+        // Heartbeat before the checkpoint: if a crash lands between
+        // the two, the lease has already banked this batch's work, so
+        // the retry's re-evaluation of it is counted as recomputed
+        // rather than silently absorbed.
+        if (!opts.leasePath.empty()) {
+            const Status ls = writeShardLease(
+                opts.leasePath,
+                ShardLease{static_cast<int64_t>(::getpid()),
+                           opts.evalsEverBase + result.evaluatedThisRun});
+            if (!ls.ok())
+                warn("dse: shard lease heartbeat skipped; "
+                     + ls.toString());
+        }
         if (checkpointing && !baselineTainted)
             writeDseCheckpoint(opts, result, grid, done, records);
         if (!cancel.ok()) {
@@ -337,44 +325,69 @@ optimizeDecomposition(const std::vector<uint8_t> &modelBytes,
         }
     }
 
-    double bestEdp = std::numeric_limits<double>::infinity();
-    bool haveBest = false;
-    int64_t numDone = 0;
-    Status firstFailure;
+    // Serial fold, shared with the shard merge so both produce
+    // bitwise-identical results from identical records.
+    std::vector<CandidateRecord> doneRecords;
     for (size_t i = 0; i < records.size(); ++i) {
         if (done[i] == 0)
-            continue; // Cancelled before this slot was evaluated.
-        ++numDone;
-        CandidateRecord &rec = records[i];
+            continue; // Cancelled before this slot, or another shard's.
+        records[i].gridIndex = static_cast<int64_t>(i);
+        doneRecords.push_back(std::move(records[i]));
+    }
+    const auto numDone = static_cast<int64_t>(doneRecords.size());
+    OptimizerResult folded = foldCandidateRecords(
+        result.baselineAccuracy, result.baselineEdp,
+        opts.accuracyDropTolerance, std::move(doneRecords));
+    result.best = std::move(folded.best);
+    result.explored = std::move(folded.explored);
+    result.numFailed = folded.numFailed;
+    Status firstFailure;
+    for (const CandidateRecord &rec : result.explored) {
+        if (rec.failed) {
+            firstFailure = Status(StatusCode::Internal, "dse.candidate",
+                                  rec.failure);
+            break;
+        }
+    }
+    enforceFailureBudget("dse", result.numFailed, numDone, firstFailure);
+    return result;
+}
+
+OptimizerResult
+foldCandidateRecords(double baselineAccuracy, double baselineEdp,
+                     double accuracyDropTolerance,
+                     std::vector<CandidateRecord> records)
+{
+    OptimizerResult result;
+    result.baselineAccuracy = baselineAccuracy;
+    result.baselineEdp = baselineEdp;
+    double bestEdp = std::numeric_limits<double>::infinity();
+    bool haveBest = false;
+    for (CandidateRecord &rec : records) {
         if (rec.failed) {
             ++result.numFailed;
-            if (firstFailure.ok())
-                firstFailure = Status(StatusCode::Internal,
-                                      "dse.candidate", rec.failure);
             rec.feasible = false;
         } else {
             rec.feasible =
-                std::max(result.baselineAccuracy - rec.accuracy, 0.0)
-                < opts.accuracyDropTolerance;
+                std::max(baselineAccuracy - rec.accuracy, 0.0)
+                < accuracyDropTolerance;
         }
         if (rec.feasible && rec.edp < bestEdp) {
             bestEdp = rec.edp;
             result.best = rec;
             haveBest = true;
         }
-        result.explored.push_back(std::move(rec));
     }
-    enforceFailureBudget("dse", result.numFailed, numDone, firstFailure);
-
     if (!haveBest) {
         // No decomposition satisfies tau: the identity is the answer.
         CandidateRecord identity;
         identity.config = DecompConfig::identity();
-        identity.accuracy = result.baselineAccuracy;
-        identity.edp = result.baselineEdp;
+        identity.accuracy = baselineAccuracy;
+        identity.edp = baselineEdp;
         identity.feasible = true;
         result.best = identity;
     }
+    result.explored = std::move(records);
     return result;
 }
 

@@ -48,6 +48,24 @@ struct OptimizerOptions
     /** Resume from checkpointPath when it exists. */
     bool resume = false;
 
+    /**
+     * Sharded-sweep membership: this process owns the grid slots
+     * whose stable candidate-key hash lands on shardIndex (see
+     * dse/shard.h). shardCount 1 = unsharded; the partition depends
+     * only on (rank, count, shardCount), never on LRD_THREADS.
+     */
+    int shardIndex = 0;
+    int shardCount = 1;
+    /**
+     * Heartbeat lease file (sharded runs): rewritten at every batch
+     * boundary with this pid and the cumulative evaluation count, so
+     * a supervisor can tell a live shard from a dead one by mtime and
+     * a merge can report recomputed work. Empty disables.
+     */
+    std::string leasePath;
+    /** Evaluations performed by earlier attempts of this shard. */
+    int64_t evalsEverBase = 0;
+
     OptimizerOptions();
 };
 
@@ -55,6 +73,9 @@ struct OptimizerOptions
 struct CandidateRecord
 {
     DecompConfig config;
+    /** Slot in the enumeration-order candidate grid. Lets shard
+     *  result files land records back in their serial position. */
+    int64_t gridIndex = 0;
     double accuracy = 0;   ///< Aggregate benchmark accuracy.
     double latencySec = 0;
     double energyJ = 0;
@@ -78,7 +99,26 @@ struct OptimizerResult
     bool cancelled = false;
     /** Cancelled/DeadlineExceeded when the sweep stopped early. */
     Status status;
+    /** Candidates evaluated by this run (excludes slots restored from
+     *  a checkpoint) — the shard lease's progress delta. */
+    int64_t evaluatedThisRun = 0;
+    /** Full candidate-grid size (all shards), for coverage checks. */
+    int64_t gridSize = 0;
 };
+
+/**
+ * The serial tail of the search, shared with the shard merge: given
+ * every evaluated record in grid-enumeration order, compute
+ * feasibility against tau, pick the min-EDP feasible candidate
+ * (falling back to the identity when nothing is feasible), and count
+ * failures. Pure — same inputs, bitwise-same OptimizerResult — which
+ * is what makes a sharded merge byte-identical to a serial sweep.
+ * Does NOT enforce the failure budget; callers that sweep do.
+ */
+OptimizerResult foldCandidateRecords(double baselineAccuracy,
+                                     double baselineEdp,
+                                     double accuracyDropTolerance,
+                                     std::vector<CandidateRecord> records);
 
 /**
  * Run the Definition 1 search.

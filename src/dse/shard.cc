@@ -1,0 +1,365 @@
+#include "dse/shard.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
+#include "obs/metrics.h"
+#include "robust/cancel.h"
+#include "robust/checkpoint.h"
+#include "robust/fault.h"
+#include "robust/signal.h"
+#include "util/logging.h"
+
+namespace fs = std::filesystem;
+
+namespace lrd {
+
+namespace {
+
+/** Payload-format versions of the shard protocol files. */
+constexpr uint32_t kShardLeaseVersion = 1;
+constexpr uint32_t kShardResultVersion = 1;
+constexpr uint32_t kDseResultVersion = 1;
+
+void
+putDecompConfig(ByteWriter &w, const DecompConfig &c)
+{
+    w.putU64(c.layers.size());
+    for (int l : c.layers)
+        w.putU32(static_cast<uint32_t>(l));
+    w.putU64(c.tensors.size());
+    for (WeightKind k : c.tensors)
+        w.putU32(static_cast<uint32_t>(k));
+    w.putU64(static_cast<uint64_t>(c.prunedRank));
+    w.putU64(c.rankOverrides.size());
+    for (const auto &[key, rank] : c.rankOverrides) {
+        w.putU32(static_cast<uint32_t>(key.first));
+        w.putU32(static_cast<uint32_t>(key.second));
+        w.putU64(static_cast<uint64_t>(rank));
+    }
+}
+
+DecompConfig
+getDecompConfig(ByteReader &r)
+{
+    DecompConfig c;
+    const uint64_t nLayers = r.getU64();
+    c.layers.resize(nLayers);
+    for (uint64_t i = 0; i < nLayers; ++i)
+        c.layers[i] = static_cast<int>(r.getU32());
+    const uint64_t nTensors = r.getU64();
+    c.tensors.resize(nTensors);
+    for (uint64_t i = 0; i < nTensors; ++i)
+        c.tensors[i] = static_cast<WeightKind>(r.getU32());
+    c.prunedRank = static_cast<int64_t>(r.getU64());
+    const uint64_t nOverrides = r.getU64();
+    for (uint64_t i = 0; i < nOverrides; ++i) {
+        const int layer = static_cast<int>(r.getU32());
+        const int kind = static_cast<int>(r.getU32());
+        c.rankOverrides[{layer, kind}] = static_cast<int64_t>(r.getU64());
+    }
+    return c;
+}
+
+/** Non-negative decimal integer, or -1 on any other input. */
+int64_t
+parseDecimal(const std::string &text)
+{
+    if (text.empty()
+        || text.find_first_not_of("0123456789") != std::string::npos
+        || text.size() > 18)
+        return -1;
+    int64_t v = 0;
+    for (char c : text)
+        v = v * 10 + (c - '0');
+    return v;
+}
+
+Status
+shardFileError(const std::string &path, const std::string &why)
+{
+    return Status(StatusCode::DataLoss, "dse.shard.merge",
+                  path + ": " + why);
+}
+
+} // namespace
+
+Result<ShardSpec>
+parseShardSpec(const std::string &text)
+{
+    const Status bad(StatusCode::InvalidArgument, "dse.shard",
+                     "--shard wants i/n with 0 <= i < n, got '" + text
+                         + "'");
+    const size_t slash = text.find('/');
+    if (slash == std::string::npos)
+        return bad;
+    const int64_t index = parseDecimal(text.substr(0, slash));
+    const int64_t count = parseDecimal(text.substr(slash + 1));
+    if (index < 0 || count < 1 || index >= count || count > 4096)
+        return bad;
+    ShardSpec spec;
+    spec.index = static_cast<int>(index);
+    spec.count = static_cast<int>(count);
+    return spec;
+}
+
+uint64_t
+candidateShardKey(int64_t rank, int count)
+{
+    // splitmix64 finalizer over the packed slot coordinates: stable
+    // across runs, hosts, and thread counts by construction.
+    uint64_t x = (static_cast<uint64_t>(rank) << 32)
+                 ^ static_cast<uint64_t>(static_cast<uint32_t>(count));
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+int
+shardOfKey(uint64_t key, int shardCount)
+{
+    require(shardCount >= 1, "shardOfKey: shardCount must be >= 1");
+    return static_cast<int>(key % static_cast<uint64_t>(shardCount));
+}
+
+std::string
+shardCheckpointPath(const std::string &dir, int index)
+{
+    return (fs::path(dir) / ("shard-" + std::to_string(index) + ".ckpt"))
+        .string();
+}
+
+std::string
+shardLeasePath(const std::string &dir, int index)
+{
+    return (fs::path(dir) / ("shard-" + std::to_string(index) + ".lease"))
+        .string();
+}
+
+std::string
+shardResultPath(const std::string &dir, int index)
+{
+    return (fs::path(dir) / ("shard-" + std::to_string(index) + ".result"))
+        .string();
+}
+
+Status
+writeShardLease(const std::string &path, const ShardLease &lease)
+{
+    ByteWriter w;
+    w.putU64(static_cast<uint64_t>(lease.pid));
+    w.putU64(static_cast<uint64_t>(lease.evalsEver));
+    return writeCheckpoint(path, kShardLeaseVersion, w.bytes());
+}
+
+Result<ShardLease>
+readShardLease(const std::string &path)
+{
+    Result<std::vector<uint8_t>> payload =
+        readCheckpointWithFallback(path, kShardLeaseVersion);
+    if (!payload.ok())
+        return payload.status();
+    ByteReader r(std::move(payload).value());
+    ShardLease lease;
+    lease.pid = static_cast<int64_t>(r.getU64());
+    lease.evalsEver = static_cast<int64_t>(r.getU64());
+    return lease;
+}
+
+double
+shardLeaseAgeSeconds(const std::string &path)
+{
+    std::error_code ec;
+    const fs::file_time_type mtime = fs::last_write_time(path, ec);
+    if (ec)
+        return -1.0;
+    const auto age = fs::file_time_type::clock::now() - mtime;
+    return std::chrono::duration<double>(age).count();
+}
+
+void
+putCandidateRecord(ByteWriter &w, const CandidateRecord &rec)
+{
+    putDecompConfig(w, rec.config);
+    w.putU64(static_cast<uint64_t>(rec.gridIndex));
+    w.putF64(rec.accuracy);
+    w.putF64(rec.latencySec);
+    w.putF64(rec.energyJ);
+    w.putF64(rec.edp);
+    w.putF64(rec.reduction);
+    w.putU32(rec.feasible ? 1 : 0);
+    w.putU32(rec.failed ? 1 : 0);
+    w.putString(rec.failure);
+}
+
+CandidateRecord
+getCandidateRecord(ByteReader &r)
+{
+    CandidateRecord rec;
+    rec.config = getDecompConfig(r);
+    rec.gridIndex = static_cast<int64_t>(r.getU64());
+    rec.accuracy = r.getF64();
+    rec.latencySec = r.getF64();
+    rec.energyJ = r.getF64();
+    rec.edp = r.getF64();
+    rec.reduction = r.getF64();
+    rec.feasible = r.getU32() != 0;
+    rec.failed = r.getU32() != 0;
+    rec.failure = r.getString();
+    return rec;
+}
+
+Status
+writeShardResultFile(const std::string &path, const ShardResultFile &file)
+{
+    ByteWriter w;
+    w.putU32(static_cast<uint32_t>(file.shard.index));
+    w.putU32(static_cast<uint32_t>(file.shard.count));
+    w.putU64(file.gridSize);
+    w.putU64(static_cast<uint64_t>(file.evalsEver));
+    w.putF64(file.baselineAccuracy);
+    w.putF64(file.baselineEdp);
+    w.putU64(file.records.size());
+    for (const CandidateRecord &rec : file.records)
+        putCandidateRecord(w, rec);
+    return writeCheckpoint(path, kShardResultVersion, w.bytes());
+}
+
+Result<ShardResultFile>
+readShardResultFile(const std::string &path)
+{
+    Result<std::vector<uint8_t>> payload =
+        readCheckpoint(path, kShardResultVersion);
+    if (!payload.ok())
+        return payload.status();
+    ByteReader r(std::move(payload).value());
+    ShardResultFile file;
+    file.shard.index = static_cast<int>(r.getU32());
+    file.shard.count = static_cast<int>(r.getU32());
+    file.gridSize = r.getU64();
+    file.evalsEver = static_cast<int64_t>(r.getU64());
+    file.baselineAccuracy = r.getF64();
+    file.baselineEdp = r.getF64();
+    const uint64_t n = r.getU64();
+    if (n > file.gridSize)
+        return shardFileError(path, "more records than grid slots");
+    file.records.reserve(n);
+    for (uint64_t i = 0; i < n; ++i)
+        file.records.push_back(getCandidateRecord(r));
+    return file;
+}
+
+Status
+writeDseResultFile(const std::string &path, const OptimizerResult &result)
+{
+    ByteWriter w;
+    w.putF64(result.baselineAccuracy);
+    w.putF64(result.baselineEdp);
+    w.putU32(static_cast<uint32_t>(result.numFailed));
+    putCandidateRecord(w, result.best);
+    w.putU64(result.explored.size());
+    for (const CandidateRecord &rec : result.explored)
+        putCandidateRecord(w, rec);
+    return writeCheckpoint(path, kDseResultVersion, w.bytes());
+}
+
+Result<MergeReport>
+mergeShardResults(const std::string &dir, int shardCount,
+                  double accuracyDropTolerance)
+{
+    static Counter *merged =
+        MetricsRegistry::instance().counter("dse.shard.merged");
+    static Counter *recomputed =
+        MetricsRegistry::instance().counter("dse.shard.recomputed");
+
+    pollCancelFault("dse.shard.merge");
+    const Status cancel = checkCancellation("dse.shard.merge");
+    if (!cancel.ok())
+        return cancel;
+    if (faultAt("dse.shard.merge", FaultKind::Alloc))
+        return Status(StatusCode::ResourceExhausted, "dse.shard.merge",
+                      "injected allocation failure");
+    if (shardCount < 1)
+        return Status(StatusCode::InvalidArgument, "dse.shard.merge",
+                      "shardCount must be >= 1");
+
+    MergeReport report;
+    uint64_t gridSize = 0;
+    double baselineAccuracy = 0.0;
+    double baselineEdp = 0.0;
+    std::vector<CandidateRecord> slots;
+    std::vector<uint8_t> seen;
+    // Fixed shard-order reduction: shard 0's header seeds the grid
+    // shape and baseline; every later shard must agree bitwise.
+    for (int i = 0; i < shardCount; ++i) {
+        const std::string path = shardResultPath(dir, i);
+        Result<ShardResultFile> loaded = readShardResultFile(path);
+        if (!loaded.ok())
+            return loaded.status();
+        const ShardResultFile &sf = loaded.value();
+        if (sf.shard.index != i || sf.shard.count != shardCount)
+            return shardFileError(
+                path, strCat("header says shard ", sf.shard.index, "/",
+                             sf.shard.count, ", expected ", i, "/",
+                             shardCount));
+        if (i == 0) {
+            gridSize = sf.gridSize;
+            baselineAccuracy = sf.baselineAccuracy;
+            baselineEdp = sf.baselineEdp;
+            slots.resize(gridSize);
+            seen.assign(gridSize, 0);
+        } else {
+            if (sf.gridSize != gridSize)
+                return shardFileError(
+                    path, strCat("grid size ", sf.gridSize,
+                                 " does not match shard 0's ", gridSize));
+            // Baselines come from deterministic evaluations of the
+            // same model bytes, so agreement must be bitwise.
+            if (std::memcmp(&sf.baselineAccuracy, &baselineAccuracy,
+                            sizeof(double))
+                    != 0
+                || std::memcmp(&sf.baselineEdp, &baselineEdp,
+                               sizeof(double))
+                       != 0)
+                return shardFileError(
+                    path, "baseline metrics differ from shard 0's "
+                          "(non-deterministic shard runs?)");
+        }
+        for (const CandidateRecord &rec : sf.records) {
+            if (rec.gridIndex < 0
+                || rec.gridIndex >= static_cast<int64_t>(gridSize))
+                return shardFileError(
+                    path, strCat("record grid index ", rec.gridIndex,
+                                 " out of range"));
+            const auto slot = static_cast<size_t>(rec.gridIndex);
+            if (seen[slot] != 0)
+                return shardFileError(
+                    path, strCat("grid slot ", rec.gridIndex,
+                                 " covered twice"));
+            seen[slot] = 1;
+            slots[slot] = rec;
+        }
+        report.evalsEver += sf.evalsEver;
+        ++report.shardsMerged;
+    }
+    for (uint64_t i = 0; i < gridSize; ++i)
+        if (seen[i] == 0)
+            return Status(StatusCode::DataLoss, "dse.shard.merge",
+                          strCat("grid slot ", i,
+                                 " covered by no shard result file"));
+
+    report.result = foldCandidateRecords(baselineAccuracy, baselineEdp,
+                                         accuracyDropTolerance,
+                                         std::move(slots));
+    report.result.gridSize = static_cast<int64_t>(gridSize);
+    report.recomputed =
+        std::max<int64_t>(0, report.evalsEver
+                                 - static_cast<int64_t>(gridSize));
+    merged->add(report.shardsMerged);
+    recomputed->add(report.recomputed);
+    return report;
+}
+
+} // namespace lrd

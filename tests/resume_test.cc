@@ -19,6 +19,7 @@
 #include "obs/metrics.h"
 #include "parallel/thread_pool.h"
 #include "robust/cancel.h"
+#include "robust/checkpoint.h"
 #include "robust/fault.h"
 #include "robust/recovery.h"
 #include "robust/signal.h"
@@ -109,7 +110,7 @@ ckptPath(const std::string &name)
     const fs::path p = fs::temp_directory_path() / name;
     fs::remove(p);
     fs::remove(p.string() + ".prev");
-    fs::remove(p.string() + ".tmp");
+    fs::remove(checkpointTmpPath(p.string()));
     return p.string();
 }
 

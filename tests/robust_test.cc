@@ -15,8 +15,12 @@
 #include <string>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
+#include "dse/coordinator.h"
 #include "dse/optimizer.h"
 #include "eval/evaluator.h"
 #include "model/transformer.h"
@@ -63,7 +67,7 @@ ckptPath(const std::string &name)
     const fs::path p = fs::temp_directory_path() / name;
     fs::remove(p);
     fs::remove(p.string() + ".prev");
-    fs::remove(p.string() + ".tmp");
+    fs::remove(checkpointTmpPath(p.string()));
     return p.string();
 }
 
@@ -423,18 +427,149 @@ TEST(Checkpoint, SweepsAStaleTmpFileBeforeWriting)
     RobustGuard guard;
     const std::string path = ckptPath("lrd_robust_ckpt_sweep.bin");
     {
-        // A killed writer's leftover: junk at <path>.tmp, never renamed.
-        std::ofstream f(path + ".tmp", std::ios::binary);
+        // An interrupted earlier write of our own: junk at our
+        // pid-unique <path>.<pid>.tmp, never renamed.
+        std::ofstream f(checkpointTmpPath(path), std::ios::binary);
         f << "half-written garbage";
     }
-    ASSERT_TRUE(fs::exists(path + ".tmp"));
+    ASSERT_TRUE(fs::exists(checkpointTmpPath(path)));
 
     const std::vector<uint8_t> payload = {3, 1, 4, 1, 5};
     ASSERT_TRUE(writeCheckpoint(path, 1, payload).ok());
-    EXPECT_FALSE(fs::exists(path + ".tmp")); // Swept, then reused.
+    // Swept, then reused.
+    EXPECT_FALSE(fs::exists(checkpointTmpPath(path)));
     const Result<std::vector<uint8_t>> r = readCheckpoint(path, 1);
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(r.value(), payload);
+}
+
+/**
+ * The .prev fallback must hold up when the damage comes from a
+ * DIFFERENT process: a sibling scribbles over the primary and dies,
+ * leaving its own pid-unique temp file orphaned. The reader falls
+ * back to the rotated previous-good file, and the orphan sweep
+ * reclaims only the dead writer's temp — never a live sibling's.
+ */
+TEST(Checkpoint, PrevFallbackSurvivesForeignProcessCorruption)
+{
+    RobustGuard guard;
+    const fs::path dir = fs::temp_directory_path() / "lrd_robust_xproc";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string path = (dir / "ckpt.bin").string();
+    ASSERT_TRUE(writeCheckpoint(path, 1, {1, 2, 3}).ok());
+    // The second write rotates {1,2,3} into .prev.
+    ASSERT_TRUE(writeCheckpoint(path, 1, {4, 5, 6}).ok());
+
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        // In the child: corrupt the primary in place and leave a
+        // half-written temp under the CHILD's pid, then die.
+        {
+            std::ofstream f(path, std::ios::binary | std::ios::trunc);
+            f << "scribbled over by another process";
+        }
+        {
+            std::ofstream f(checkpointTmpPath(path), std::ios::binary);
+            f << "orphaned half-write";
+        }
+        _exit(0);
+    }
+    int waitStatus = 0;
+    ASSERT_EQ(waitpid(child, &waitStatus, 0), child);
+    ASSERT_TRUE(WIFEXITED(waitStatus) && WEXITSTATUS(waitStatus) == 0);
+
+    bool usedFallback = false;
+    const Result<std::vector<uint8_t>> r =
+        readCheckpointWithFallback(path, 1, &usedFallback);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_TRUE(usedFallback);
+    EXPECT_EQ(r.value(), (std::vector<uint8_t>{1, 2, 3}));
+
+    // The dead child's temp is sweepable; a live writer's is not.
+    const std::string liveTmp =
+        path + "." + std::to_string(getppid()) + ".tmp";
+    {
+        std::ofstream f(liveTmp, std::ios::binary);
+        f << "live sibling's in-flight write";
+    }
+    EXPECT_EQ(sweepOrphanCheckpointTmps(dir.string()), 1);
+    EXPECT_TRUE(fs::exists(liveTmp));
+    fs::remove_all(dir);
+}
+
+/**
+ * The supervisor relaunches a crashed shard with backoff, and a shard
+ * that keeps dying exhausts its bounded retry budget and surfaces the
+ * dedicated "dse.shard.retry" status (exit code 8 in lrdtool).
+ */
+TEST(Supervisor, RetriesCrashedShardThenFailsPastBudget)
+{
+    RobustGuard guard;
+    const fs::path dir =
+        fs::temp_directory_path() / "lrd_robust_sup_retry";
+    fs::remove_all(dir);
+    SupervisorOptions sup;
+    sup.shards = 1;
+    sup.dir = dir.string();
+    sup.maxRetries = 1;
+    sup.backoffBaseTicks = 1;
+    sup.childArgs = {"/bin/sh", "-c", "exit 1"};
+    const SupervisorReport rep = superviseDse(sup);
+    EXPECT_EQ(rep.status.code(), StatusCode::Internal)
+        << rep.status.toString();
+    EXPECT_STREQ(rep.status.site(), "dse.shard.retry");
+    EXPECT_EQ(rep.launched, 2); // First try + one bounded retry.
+    EXPECT_EQ(rep.retried, 1);
+    EXPECT_EQ(rep.failed, 1);
+    fs::remove_all(dir);
+}
+
+/** A launch that never produced a child (injected spawn failure)
+ *  consumes the same retry budget as a crashed one. */
+TEST(Supervisor, SpawnFaultConsumesRetryBudget)
+{
+    RobustGuard guard;
+    const fs::path dir =
+        fs::temp_directory_path() / "lrd_robust_sup_spawnfail";
+    fs::remove_all(dir);
+    SupervisorOptions sup;
+    sup.shards = 1;
+    sup.dir = dir.string();
+    sup.maxRetries = 0;
+    sup.backoffBaseTicks = 1;
+    sup.childArgs = {"/bin/sh", "-c", "exit 0"};
+    setFault(FaultSpec{"dse.shard.spawn", FaultKind::Alloc, 1});
+    const SupervisorReport rep = superviseDse(sup);
+    EXPECT_EQ(rep.status.code(), StatusCode::Internal)
+        << rep.status.toString();
+    EXPECT_STREQ(rep.status.site(), "dse.shard.retry");
+    EXPECT_EQ(rep.launched, 0);
+    EXPECT_EQ(rep.failed, 1);
+    fs::remove_all(dir);
+}
+
+/** A shard exiting 0 without having written its result file is a
+ *  failure, not a success — the supervisor must not merge a hole. */
+TEST(Supervisor, CleanExitWithoutResultFileCountsAsFailure)
+{
+    RobustGuard guard;
+    const fs::path dir =
+        fs::temp_directory_path() / "lrd_robust_sup_noresult";
+    fs::remove_all(dir);
+    SupervisorOptions sup;
+    sup.shards = 1;
+    sup.dir = dir.string();
+    sup.maxRetries = 0;
+    sup.backoffBaseTicks = 1;
+    sup.childArgs = {"/bin/sh", "-c", "exit 0"};
+    const SupervisorReport rep = superviseDse(sup);
+    EXPECT_EQ(rep.status.code(), StatusCode::Internal)
+        << rep.status.toString();
+    EXPECT_STREQ(rep.status.site(), "dse.shard.retry");
+    EXPECT_EQ(rep.launched, 1);
+    fs::remove_all(dir);
 }
 
 /**
@@ -508,13 +643,13 @@ TEST(FaultSites, EveryRegisteredSiteSupportsCancelKill)
             setFault(FaultSpec{"ckpt.write", FaultKind::Cancel, 1});
             const Status s = writeCheckpoint(path, 1, {1, 2, 3});
             EXPECT_EQ(s.code(), StatusCode::Cancelled);
-            // The kill leaves the half-written .tmp, never the primary;
-            // the next write sweeps the leftover.
-            EXPECT_TRUE(fs::exists(path + ".tmp"));
+            // The kill leaves the half-written pid-unique .tmp, never
+            // the primary; the next write sweeps the leftover.
+            EXPECT_TRUE(fs::exists(checkpointTmpPath(path)));
             EXPECT_FALSE(fs::exists(path));
             clearFaults();
             ASSERT_TRUE(writeCheckpoint(path, 1, {1, 2, 3}).ok());
-            EXPECT_FALSE(fs::exists(path + ".tmp"));
+            EXPECT_FALSE(fs::exists(checkpointTmpPath(path)));
         } else if (site == "ckpt.read") {
             const std::string path = ckptPath("lrd_robust_site_r.bin");
             ASSERT_TRUE(writeCheckpoint(path, 1, {9}).ok());
@@ -547,6 +682,32 @@ TEST(FaultSites, EveryRegisteredSiteSupportsCancelKill)
             }
             EXPECT_GT(cancelled, 0);
             EXPECT_EQ(cancelled, r.stats.cancelled);
+        } else if (site == "dse.shard.spawn") {
+            const fs::path dir =
+                fs::temp_directory_path() / "lrd_robust_spawn_site";
+            fs::remove_all(dir);
+            SupervisorOptions sup;
+            sup.shards = 1;
+            sup.dir = dir.string();
+            sup.childArgs = {"/bin/sh", "-c", "exit 0"};
+            setFault(FaultSpec{"dse.shard.spawn", FaultKind::Cancel, 1});
+            const SupervisorReport rep = superviseDse(sup);
+            EXPECT_EQ(rep.status.code(), StatusCode::Cancelled)
+                << rep.status.toString();
+            // The kill lands before the fork: no child ever spawned.
+            EXPECT_EQ(rep.launched, 0);
+            fs::remove_all(dir);
+        } else if (site == "dse.shard.merge") {
+            const fs::path dir =
+                fs::temp_directory_path() / "lrd_robust_merge_site";
+            fs::remove_all(dir);
+            fs::create_directories(dir);
+            setFault(FaultSpec{"dse.shard.merge", FaultKind::Cancel, 1});
+            const Result<MergeReport> m =
+                mergeShardResults(dir.string(), 1, 0.05);
+            ASSERT_FALSE(m.ok());
+            EXPECT_EQ(m.status().code(), StatusCode::Cancelled);
+            fs::remove_all(dir);
         } else {
             FAIL() << "registered fault site '" << site
                    << "' has no cancel-kill driver in this test; add one";

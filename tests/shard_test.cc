@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Sharded-DSE protocol tests: the deterministic candidate partition,
+ * lease and result-file round-trips, merge validation (holes,
+ * duplicates, baseline disagreement), and the headline guarantee —
+ * an in-process sharded sweep, including one that is cancelled
+ * mid-shard and resumed, merges to a result file byte-identical to
+ * the serial sweep's, with recomputed work accounted exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <unistd.h>
+
+#include "dse/coordinator.h"
+#include "model/transformer.h"
+#include "robust/cancel.h"
+#include "robust/fault.h"
+#include "robust/recovery.h"
+#include "robust/signal.h"
+#include "train/trainer.h"
+
+namespace lrd {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Restores the default policy and disarms faults around each test. */
+struct RobustGuard
+{
+    RobustGuard() { reset(); }
+    ~RobustGuard() { reset(); }
+
+    static void reset()
+    {
+        clearFaults();
+        setRobustPolicy(RobustPolicy{});
+        (void)takeNumericFault();
+        clearCancelRequest();
+        clearDeadline();
+        resetSignalsForTest();
+    }
+};
+
+WorldSpec
+smallSpec()
+{
+    WorldSpec s;
+    s.numEntities = 12;
+    s.numColors = 5;
+    s.numCategories = 5;
+    s.numPlaces = 5;
+    s.numNumbers = 14;
+    s.numVerbs = 3;
+    s.numPatternSymbols = 6;
+    s.seed = 7;
+    return s;
+}
+
+const World &
+smallWorld()
+{
+    static World w(smallSpec());
+    return w;
+}
+
+ModelConfig
+smallConfig()
+{
+    ModelConfig cfg = testLlamaConfig();
+    cfg.vocabSize = smallWorld().vocabSize();
+    cfg.dModel = 32;
+    cfg.nHeads = 4;
+    cfg.dFf = 64;
+    cfg.nLayers = 4;
+    cfg.maxSeq = 48;
+    return cfg;
+}
+
+/** A briefly-trained small decoder shared by the sweep tests. */
+const std::vector<uint8_t> &
+trainedBytes()
+{
+    static const std::vector<uint8_t> bytes = [] {
+        TransformerModel model(smallConfig(), 17);
+        TrainOptions t;
+        t.steps = 60;
+        t.batchSeqs = 4;
+        t.seqLen = 40;
+        t.warmupSteps = 10;
+        t.logEvery = 0;
+        Trainer trainer(model, smallWorld(), t);
+        trainer.run();
+        return model.serialize();
+    }();
+    return bytes;
+}
+
+/** Fresh per-test scratch directory under the system temp dir. */
+std::string
+freshDir(const std::string &name)
+{
+    const fs::path p = fs::temp_directory_path() / name;
+    fs::remove_all(p);
+    fs::create_directories(p);
+    return p.string();
+}
+
+std::vector<uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(f),
+                                std::istreambuf_iterator<char>());
+}
+
+OptimizerOptions
+sweepOptions()
+{
+    OptimizerOptions opts;
+    opts.evalTasks = 6;
+    opts.accuracyDropTolerance = 1.1; // Everything feasible: fast sweep.
+    opts.checkpointEvery = 1;
+    return opts;
+}
+
+TEST(ShardSpecParse, AcceptsValidSpecs)
+{
+    for (const auto &[text, index, count] :
+         std::vector<std::tuple<std::string, int, int>>{
+             {"0/1", 0, 1}, {"3/4", 3, 4}, {"0/8", 0, 8},
+             {"7/8", 7, 8}}) {
+        SCOPED_TRACE(text);
+        const Result<ShardSpec> r = parseShardSpec(text);
+        ASSERT_TRUE(r.ok()) << r.status().toString();
+        EXPECT_EQ(r.value().index, index);
+        EXPECT_EQ(r.value().count, count);
+    }
+}
+
+TEST(ShardSpecParse, RejectsMalformedSpecs)
+{
+    for (const char *text :
+         {"4/4", "5/4", "0/0", "x/y", "1/", "/4", "-1/4", "", "1",
+          "1/2/3", "2/99999", "00x/4", "1 /4"}) {
+        SCOPED_TRACE(text);
+        const Result<ShardSpec> r = parseShardSpec(text);
+        ASSERT_FALSE(r.ok()) << text;
+        EXPECT_EQ(r.status().code(), StatusCode::InvalidArgument);
+    }
+}
+
+TEST(ShardPartition, CoversEveryCandidateExactlyOnceAndIsStable)
+{
+    for (const int shardCount : {1, 2, 3, 8}) {
+        SCOPED_TRACE(shardCount);
+        for (int64_t rank = 1; rank <= 4; ++rank) {
+            for (int count = 1; count <= 8; ++count) {
+                const uint64_t key = candidateShardKey(rank, count);
+                const int shard = shardOfKey(key, shardCount);
+                ASSERT_GE(shard, 0);
+                ASSERT_LT(shard, shardCount);
+                // Stable: the same coordinates always land on the
+                // same shard (the partition never consults global
+                // state, thread counts, or timing).
+                EXPECT_EQ(shard,
+                          shardOfKey(candidateShardKey(rank, count),
+                                     shardCount));
+            }
+        }
+    }
+    // The mix actually spreads work: 32 candidates over 8 shards
+    // should touch more than one shard.
+    std::set<int> touched;
+    for (int64_t rank = 1; rank <= 4; ++rank)
+        for (int count = 1; count <= 8; ++count)
+            touched.insert(shardOfKey(candidateShardKey(rank, count), 8));
+    EXPECT_GT(touched.size(), 1u);
+}
+
+TEST(ShardLeaseFile, RoundTripsAndReportsMissing)
+{
+    RobustGuard guard;
+    const std::string dir = freshDir("lrd_shard_lease");
+    const std::string path = shardLeasePath(dir, 3);
+    EXPECT_EQ(readShardLease(path).status().code(), StatusCode::NotFound);
+    EXPECT_LT(shardLeaseAgeSeconds(path), 0.0);
+
+    const ShardLease lease{static_cast<int64_t>(::getpid()), 17};
+    ASSERT_TRUE(writeShardLease(path, lease).ok());
+    const Result<ShardLease> r = readShardLease(path);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(r.value().pid, lease.pid);
+    EXPECT_EQ(r.value().evalsEver, 17);
+    EXPECT_GE(shardLeaseAgeSeconds(path), 0.0);
+    fs::remove_all(dir);
+}
+
+TEST(ShardResultFileIo, RoundTripsRecords)
+{
+    RobustGuard guard;
+    const std::string dir = freshDir("lrd_shard_resultio");
+    ShardResultFile file;
+    file.shard = ShardSpec{1, 2};
+    file.gridSize = 4;
+    file.evalsEver = 3;
+    file.baselineAccuracy = 0.75;
+    file.baselineEdp = 123.5;
+    CandidateRecord rec;
+    rec.gridIndex = 2;
+    rec.accuracy = 0.7;
+    rec.latencySec = 0.5;
+    rec.energyJ = 2.0;
+    rec.edp = 1.0;
+    rec.reduction = 0.25;
+    rec.feasible = true;
+    file.records.push_back(rec);
+    const std::string path = shardResultPath(dir, 1);
+    ASSERT_TRUE(writeShardResultFile(path, file).ok());
+
+    const Result<ShardResultFile> r = readShardResultFile(path);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(r.value().shard.index, 1);
+    EXPECT_EQ(r.value().shard.count, 2);
+    EXPECT_EQ(r.value().gridSize, 4u);
+    EXPECT_EQ(r.value().evalsEver, 3);
+    ASSERT_EQ(r.value().records.size(), 1u);
+    EXPECT_EQ(r.value().records[0].gridIndex, 2);
+    EXPECT_EQ(r.value().records[0].accuracy, 0.7);
+    EXPECT_TRUE(r.value().records[0].feasible);
+    fs::remove_all(dir);
+}
+
+/** Hand-build one shard result file covering `indices`. */
+void
+putShardFile(const std::string &dir, int index, int count,
+             uint64_t gridSize, const std::vector<int64_t> &indices)
+{
+    ShardResultFile file;
+    file.shard = ShardSpec{index, count};
+    file.gridSize = gridSize;
+    file.evalsEver = static_cast<int64_t>(indices.size());
+    file.baselineAccuracy = 0.5;
+    file.baselineEdp = 10.0;
+    for (const int64_t i : indices) {
+        CandidateRecord rec;
+        rec.gridIndex = i;
+        rec.accuracy = 0.5;
+        rec.edp = 5.0 + static_cast<double>(i);
+        rec.feasible = true;
+        file.records.push_back(rec);
+    }
+    ASSERT_TRUE(
+        writeShardResultFile(shardResultPath(dir, index), file).ok());
+}
+
+TEST(MergeValidation, RejectsMissingHolesAndDuplicates)
+{
+    RobustGuard guard;
+    const std::string dir = freshDir("lrd_shard_mergeval");
+
+    // Missing shard file: shard 1 of 2 never completed.
+    putShardFile(dir, 0, 2, 4, {0, 1});
+    EXPECT_EQ(mergeShardResults(dir, 2, 0.05).status().code(),
+              StatusCode::NotFound);
+
+    // Hole: slot 2 covered by nobody.
+    putShardFile(dir, 1, 2, 4, {3});
+    EXPECT_EQ(mergeShardResults(dir, 2, 0.05).status().code(),
+              StatusCode::DataLoss);
+
+    // Duplicate: slot 1 covered twice.
+    putShardFile(dir, 1, 2, 4, {1, 2, 3});
+    EXPECT_EQ(mergeShardResults(dir, 2, 0.05).status().code(),
+              StatusCode::DataLoss);
+
+    // Exact cover merges, picking the min-EDP feasible slot.
+    putShardFile(dir, 1, 2, 4, {2, 3});
+    const Result<MergeReport> ok = mergeShardResults(dir, 2, 0.05);
+    ASSERT_TRUE(ok.ok()) << ok.status().toString();
+    EXPECT_EQ(ok.value().shardsMerged, 2);
+    EXPECT_EQ(ok.value().result.explored.size(), 4u);
+    EXPECT_EQ(ok.value().result.best.gridIndex, 0);
+    EXPECT_EQ(ok.value().recomputed, 0);
+    fs::remove_all(dir);
+}
+
+TEST(MergeValidation, RejectsBaselineDisagreement)
+{
+    RobustGuard guard;
+    const std::string dir = freshDir("lrd_shard_mergebase");
+    putShardFile(dir, 0, 2, 2, {0});
+    // Shard 1 claims a bitwise-different baseline: a symptom of
+    // non-deterministic shard runs, which would silently poison the
+    // serial-identity guarantee if merged.
+    ShardResultFile file;
+    file.shard = ShardSpec{1, 2};
+    file.gridSize = 2;
+    file.evalsEver = 1;
+    file.baselineAccuracy = 0.5000001;
+    file.baselineEdp = 10.0;
+    CandidateRecord rec;
+    rec.gridIndex = 1;
+    rec.feasible = true;
+    rec.edp = 1.0;
+    file.records.push_back(rec);
+    ASSERT_TRUE(writeShardResultFile(shardResultPath(dir, 1), file).ok());
+    EXPECT_EQ(mergeShardResults(dir, 2, 0.05).status().code(),
+              StatusCode::DataLoss);
+    fs::remove_all(dir);
+}
+
+TEST(RunDseShard, RefusesALeaseHeldByALiveProcess)
+{
+    RobustGuard guard;
+    const std::string dir = freshDir("lrd_shard_livelease");
+    // pid 1 is always alive (and never ours to signal: EPERM counts
+    // as alive), so the shard must refuse to double-run.
+    ASSERT_TRUE(
+        writeShardLease(shardLeasePath(dir, 0), ShardLease{1, 5}).ok());
+    const Result<OptimizerResult> r = runDseShard(
+        trainedBytes(), smallWorld(), sweepOptions(), ShardSpec{0, 2},
+        dir);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::InvalidArgument);
+    fs::remove_all(dir);
+}
+
+/**
+ * The headline guarantee, in-process: shards swept independently
+ * (one of them killed mid-sweep and resumed) merge to a result file
+ * byte-identical to the serial sweep's, with every candidate
+ * evaluated exactly once and recomputed work reported exactly.
+ */
+TEST(ShardedSweep, MergesByteIdenticalToSerialAcrossCancelAndResume)
+{
+    RobustGuard guard;
+    const std::string dir = freshDir("lrd_shard_e2e");
+    const OptimizerOptions base = sweepOptions();
+
+    // Serial reference (no checkpointing, no sharding).
+    OptimizerResult serial = optimizeDecomposition(
+        trainedBytes(), smallWorld(), base);
+    ASSERT_TRUE(serial.status.ok()) << serial.status.toString();
+    const std::string serialPath = dir + "/serial.bin";
+    ASSERT_TRUE(writeDseResultFile(serialPath, serial).ok());
+    const auto gridSize = static_cast<uint64_t>(serial.gridSize);
+    ASSERT_GT(gridSize, 0u);
+
+    // Shard 0: killed at the second batch boundary, then resumed.
+    setFault(FaultSpec{"dse.batch", FaultKind::Cancel, 2});
+    const Result<OptimizerResult> killed = runDseShard(
+        trainedBytes(), smallWorld(), base, ShardSpec{0, 2}, dir);
+    clearFaults();
+    clearCancelRequest();
+    ASSERT_FALSE(killed.ok());
+    EXPECT_EQ(killed.status().code(), StatusCode::Cancelled);
+    // The interrupted attempt leaves its lease behind for the retry.
+    ASSERT_TRUE(readShardLease(shardLeasePath(dir, 0)).ok());
+
+    const Result<OptimizerResult> shard0 = runDseShard(
+        trainedBytes(), smallWorld(), base, ShardSpec{0, 2}, dir);
+    ASSERT_TRUE(shard0.ok()) << shard0.status().toString();
+    const Result<OptimizerResult> shard1 = runDseShard(
+        trainedBytes(), smallWorld(), base, ShardSpec{1, 2}, dir);
+    ASSERT_TRUE(shard1.ok()) << shard1.status().toString();
+    // Clean completions drop their leases.
+    EXPECT_EQ(readShardLease(shardLeasePath(dir, 0)).status().code(),
+              StatusCode::NotFound);
+
+    const Result<MergeReport> merge =
+        mergeShardResults(dir, 2, base.accuracyDropTolerance);
+    ASSERT_TRUE(merge.ok()) << merge.status().toString();
+    EXPECT_EQ(merge.value().shardsMerged, 2);
+    // The cancel landed AFTER the batch's lease+checkpoint pair, so
+    // nothing persisted was lost: every slot evaluated exactly once.
+    EXPECT_EQ(merge.value().evalsEver,
+              static_cast<int64_t>(gridSize));
+    EXPECT_EQ(merge.value().recomputed, 0);
+
+    const std::string mergedPath = dir + "/merged.bin";
+    ASSERT_TRUE(writeDseResultFile(mergedPath, merge.value().result).ok());
+    EXPECT_EQ(readFileBytes(mergedPath), readFileBytes(serialPath))
+        << "merged result file must be byte-identical to serial";
+    fs::remove_all(dir);
+}
+
+/**
+ * Recomputed-work accounting: a lease that banked more evaluations
+ * than the checkpoint persisted (the crash-between-heartbeat-and-
+ * checkpoint window) surfaces in the merge as recomputed work — and
+ * does not perturb the merged bytes.
+ */
+TEST(ShardedSweep, ReportsRecomputedWorkFromACrashedAttempt)
+{
+    RobustGuard guard;
+    const std::string dir = freshDir("lrd_shard_recompute");
+    const OptimizerOptions base = sweepOptions();
+
+    OptimizerResult serial = optimizeDecomposition(
+        trainedBytes(), smallWorld(), base);
+    ASSERT_TRUE(serial.status.ok());
+    const std::string serialPath = dir + "/serial.bin";
+    ASSERT_TRUE(writeDseResultFile(serialPath, serial).ok());
+
+    // Simulate an attempt whose heartbeat outran its checkpoint by
+    // two evaluations before the crash: the banked-but-lost work.
+    ASSERT_TRUE(writeShardLease(
+                    shardLeasePath(dir, 0),
+                    ShardLease{static_cast<int64_t>(::getpid()), 2})
+                    .ok());
+    const Result<OptimizerResult> shard0 = runDseShard(
+        trainedBytes(), smallWorld(), base, ShardSpec{0, 2}, dir);
+    ASSERT_TRUE(shard0.ok()) << shard0.status().toString();
+    const Result<OptimizerResult> shard1 = runDseShard(
+        trainedBytes(), smallWorld(), base, ShardSpec{1, 2}, dir);
+    ASSERT_TRUE(shard1.ok()) << shard1.status().toString();
+
+    const Result<MergeReport> merge =
+        mergeShardResults(dir, 2, base.accuracyDropTolerance);
+    ASSERT_TRUE(merge.ok()) << merge.status().toString();
+    EXPECT_EQ(merge.value().recomputed, 2);
+    EXPECT_EQ(merge.value().evalsEver, serial.gridSize + 2);
+
+    const std::string mergedPath = dir + "/merged.bin";
+    ASSERT_TRUE(writeDseResultFile(mergedPath, merge.value().result).ok());
+    EXPECT_EQ(readFileBytes(mergedPath), readFileBytes(serialPath));
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace lrd
